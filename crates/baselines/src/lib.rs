@@ -1,0 +1,22 @@
+//! Baseline multiprocessor schedulers to compare the paper's algorithms
+//! against.
+//!
+//! The paper positions hierarchical scheduling against the classic
+//! regimes (Sections I–II): *global* (`P|pmtn|Cmax`, McNaughton's rule),
+//! *partitioned* (`R||Cmax`, no migration), *semi-partitioned*
+//! (restricted migratory set), and *clustered*. This crate implements a
+//! representative algorithm for each regime:
+//!
+//! * [`mcnaughton`] — the optimal wrap-around rule for identical machines
+//!   with free migration;
+//! * [`partitioned`] — greedy/LPT list scheduling and the LST
+//!   2-approximation for unrelated machines;
+//! * [`semi`] — a first-fit-decreasing semi-partitioned heuristic in the
+//!   style of the practical semi-partitioned literature;
+//! * [`greedy`] — a generic best-fit greedy over *any* laminar family
+//!   (the natural "no-LP" competitor to Theorem V.2's algorithm).
+
+pub mod greedy;
+pub mod mcnaughton;
+pub mod partitioned;
+pub mod semi;

@@ -1,0 +1,116 @@
+//! McNaughton's wrap-around rule for `P|pmtn|Cmax` (1959).
+//!
+//! The optimal preemptive makespan on `m` identical machines is
+//! `max(max_j p_j, (Σ_j p_j) / m)`; the rule lays the jobs end to end
+//! and cuts the tape into `m` strips of that length. The paper's
+//! Algorithm 1 degenerates to this rule when every job is global, which
+//! the tests cross-check.
+
+use hsched_core::{Schedule, Segment};
+use numeric::Q;
+
+/// Result of [`mcnaughton`]: the optimal horizon and its schedule.
+#[derive(Clone, Debug)]
+pub struct McNaughtonResult {
+    /// Optimal preemptive makespan `max(max p, Σp/m)` (exact rational).
+    pub t: Q,
+    /// The wrap-around schedule attaining it.
+    pub schedule: Schedule,
+}
+
+/// Schedule jobs with processing times `p` on `m` identical machines,
+/// preemptively and optimally.
+pub fn mcnaughton(p: &[u64], m: usize) -> McNaughtonResult {
+    assert!(m > 0, "need at least one machine");
+    let total: u64 = p.iter().sum();
+    let t = Q::from(p.iter().copied().max().unwrap_or(0))
+        .max(Q::from(total) / Q::from(m as u64));
+    let mut segments = Vec::new();
+    if t.is_positive() {
+        let mut machine = 0usize;
+        let mut wall = Q::zero();
+        for (j, &pj) in p.iter().enumerate() {
+            let mut left = Q::from(pj);
+            while left.is_positive() {
+                let room = t.clone() - wall.clone();
+                let take = left.clone().min(room.clone());
+                segments.push(Segment {
+                    job: j,
+                    machine,
+                    start: wall.clone(),
+                    end: wall.clone() + take.clone(),
+                });
+                wall += take.clone();
+                left -= take;
+                if wall == t {
+                    wall = Q::zero();
+                    machine += 1;
+                }
+            }
+        }
+    }
+    McNaughtonResult { t, schedule: Schedule { segments } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_core::Assignment;
+    use laminar::topology;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn validate(p: &[u64], m: usize, res: &McNaughtonResult) {
+        let inst = hsched_core::Instance::from_fn(topology::global(m), p.len(), |j, _| {
+            Some(p[j])
+        })
+        .unwrap();
+        let asg = Assignment::new(vec![0; p.len()]);
+        res.schedule.validate(&inst, &asg, &res.t).unwrap();
+    }
+
+    #[test]
+    fn volume_bound_binds() {
+        let res = mcnaughton(&[3, 3, 3, 3], 3);
+        assert_eq!(res.t, q(4));
+        validate(&[3, 3, 3, 3], 3, &res);
+    }
+
+    #[test]
+    fn longest_job_binds() {
+        let res = mcnaughton(&[10, 1, 1], 3);
+        assert_eq!(res.t, q(10));
+        validate(&[10, 1, 1], 3, &res);
+    }
+
+    #[test]
+    fn fractional_horizon() {
+        let res = mcnaughton(&[2, 2, 3], 2);
+        assert_eq!(res.t, Q::ratio(7, 2));
+        validate(&[2, 2, 3], 2, &res);
+    }
+
+    #[test]
+    fn migration_count_at_most_m_minus_1() {
+        let res = mcnaughton(&[5, 5, 5, 5, 5], 4);
+        let d = res.schedule.disruptions();
+        assert!(d.migrations <= 3);
+        assert_eq!(d.preemptions, 0, "wrap rule never preempts onto the same machine");
+        validate(&[5, 5, 5, 5, 5], 4, &res);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert!(mcnaughton(&[], 2).schedule.segments.is_empty());
+        assert!(mcnaughton(&[0, 0], 2).schedule.segments.is_empty());
+    }
+
+    #[test]
+    fn single_machine_sequential() {
+        let res = mcnaughton(&[1, 2, 3], 1);
+        assert_eq!(res.t, q(6));
+        validate(&[1, 2, 3], 1, &res);
+    }
+}

@@ -1,0 +1,26 @@
+//! Exact-rational simplex cost on the paper's decision LPs (IP-3) — the
+//! dominant component of the 2-approximation's runtime (E10).
+
+use bench::fixtures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_core::formulations::build_ip3;
+
+fn bench_ip3_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ip3_lp_solve");
+    g.sample_size(10);
+    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6)] {
+        let inst = fixtures::e10_instance(n, m, 7);
+        // A horizon around the volume bound: the interesting regime.
+        let t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+        let (lp, vm) = build_ip3(&inst, t).expect("has variables");
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}_vars{}", vm.len())),
+            &lp,
+            |b, lp| b.iter(|| std::hint::black_box(lp.solve())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ip3_lp);
+criterion_main!(benches);

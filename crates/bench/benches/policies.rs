@@ -1,0 +1,41 @@
+//! E5 runtime: the scheduling policies on the same SMP-CMP workload —
+//! what each regime costs to *compute* (the quality comparison is in
+//! `harness e5`).
+
+use baselines::greedy::greedy_hierarchical;
+use baselines::mcnaughton::mcnaughton;
+use baselines::partitioned::{lpt_greedy, lst_partitioned};
+use bench::fixtures;
+use criterion::{criterion_group, criterion_main, Criterion};
+use hsched_core::approx::{singleton_times, two_approx};
+
+fn bench_policies(c: &mut Criterion) {
+    let inst = fixtures::e5_instance(50, 20, 3);
+    let m = inst.num_machines();
+    let completed = inst.with_singletons();
+    let p = singleton_times(&completed);
+    let global_ps: Vec<u64> =
+        (0..inst.num_jobs()).map(|j| inst.ptime(j, 0).expect("finite")).collect();
+
+    let mut g = c.benchmark_group("policies");
+    g.sample_size(10);
+    g.bench_function("partitioned_lpt", |b| {
+        b.iter(|| std::hint::black_box(lpt_greedy(&p, m)))
+    });
+    g.bench_function("partitioned_lst", |b| {
+        b.iter(|| std::hint::black_box(lst_partitioned(&p, m)))
+    });
+    g.bench_function("global_mcnaughton", |b| {
+        b.iter(|| std::hint::black_box(mcnaughton(&global_ps, m)))
+    });
+    g.bench_function("greedy_hierarchical", |b| {
+        b.iter(|| std::hint::black_box(greedy_hierarchical(&inst)))
+    });
+    g.bench_function("two_approx", |b| {
+        b.iter(|| std::hint::black_box(two_approx(&inst)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E9 runtime: the two feasibility oracles of the 2-approximation —
+//! direct singleton LP vs hierarchical LP + Lemma V.1 push-down.
+
+use bench::fixtures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_core::approx::{two_approx_with, TwoApproxMethod};
+use laminar::topology;
+
+fn bench_pushdown(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pushdown_ablation");
+    g.sample_size(10);
+    for n in [6usize, 10] {
+        let inst = fixtures::e3_instance(topology::clustered(2, 2), n, 11);
+        g.bench_with_input(BenchmarkId::new("direct", n), &inst, |b, inst| {
+            b.iter(|| {
+                std::hint::black_box(two_approx_with(inst, TwoApproxMethod::DirectSingleton))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pushdown", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(two_approx_with(inst, TwoApproxMethod::PushDown)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pushdown);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Scheduler throughput: Algorithm 1 (semi-partitioned) vs Algorithms
+//! 2+3 (hierarchical) on the same feasible assignments, plus validator
+//! and simulator replay costs.
+
+use bench::fixtures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_core::hier::schedule_hierarchical;
+use hsched_core::semi::schedule_semi_partitioned;
+use hsched_core::Assignment;
+use numeric::Q;
+use simulator::simulate;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedulers");
+    g.sample_size(20);
+    for m in [4usize, 8, 16] {
+        let inst = fixtures::e4_instance(m, 4 * m, 5);
+        let root = (0..inst.family().len())
+            .find(|&a| inst.set(a).len() == m)
+            .expect("semi family");
+        // Half local (round-robin), half global.
+        let singles = inst.singleton_index();
+        let mask: Vec<usize> = (0..inst.num_jobs())
+            .map(|j| if j % 2 == 0 { root } else { singles[j % m].expect("present") })
+            .collect();
+        let asg = Assignment::new(mask);
+        let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
+
+        g.bench_with_input(BenchmarkId::new("algorithm1", m), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(
+                    schedule_semi_partitioned(&inst, &asg, &t).expect("feasible"),
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("algorithms2_3", m), &(), |b, _| {
+            b.iter(|| {
+                std::hint::black_box(schedule_hierarchical(&inst, &asg, &t).expect("feasible"))
+            })
+        });
+        let sched = schedule_hierarchical(&inst, &asg, &t).expect("feasible");
+        g.bench_with_input(BenchmarkId::new("validate", m), &(), |b, _| {
+            b.iter(|| std::hint::black_box(sched.validate(&inst, &asg, &t)))
+        });
+        g.bench_with_input(BenchmarkId::new("simulate", m), &(), |b, _| {
+            b.iter(|| std::hint::black_box(simulate(&sched, m).expect("valid")))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

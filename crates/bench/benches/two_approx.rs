@@ -1,0 +1,23 @@
+//! E10/E3 runtime: the Theorem V.2 pipeline (binary search + LP + LST
+//! rounding + Algorithms 2+3) as instance size grows.
+
+use bench::fixtures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsched_core::approx::two_approx;
+
+fn bench_two_approx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_approx");
+    g.sample_size(10);
+    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6), (32, 8)] {
+        let inst = fixtures::e10_instance(n, m, 7);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_m{m}")),
+            &inst,
+            |b, inst| b.iter(|| std::hint::black_box(two_approx(inst))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_two_approx);
+criterion_main!(benches);

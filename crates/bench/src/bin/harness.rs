@@ -1,0 +1,55 @@
+//! The experiment harness: regenerates every evaluation table (E1–E10).
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin harness           # all experiments
+//!   cargo run --release -p bench --bin harness e3 e5     # a subset
+//!
+//! EXPERIMENTS.md records a full run's output next to the paper's claims.
+
+use bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| all || args.iter().any(|a| a == name);
+
+    let mut sections: Vec<String> = Vec::new();
+    if want("e1") {
+        sections.push(ex::e1());
+    }
+    if want("e2") {
+        sections.push(ex::e2(10));
+    }
+    if want("e3") {
+        sections.push(ex::e3(5));
+    }
+    if want("e4") {
+        sections.push(ex::e4(8));
+    }
+    if want("e5") {
+        sections.push(ex::e5(3));
+    }
+    if want("e6") {
+        sections.push(ex::e6(6));
+    }
+    if want("e7") {
+        sections.push(ex::e7(4));
+    }
+    if want("e8") {
+        sections.push(ex::e8(6));
+    }
+    if want("e9") {
+        sections.push(ex::e9(2));
+    }
+    if want("e10") {
+        sections.push(ex::e10());
+    }
+    if sections.is_empty() {
+        eprintln!("unknown experiment id; use e1..e10 or all");
+        std::process::exit(2);
+    }
+    for s in sections {
+        println!("{s}");
+        println!("{}", "=".repeat(78));
+    }
+}

@@ -1,0 +1,75 @@
+//! Experiment harness regenerating every evaluation artifact in
+//! EXPERIMENTS.md.
+//!
+//! The paper is theory-only (no empirical tables/figures); DESIGN.md §4
+//! defines the synthetic evaluation E1–E10, each reproducing a theorem,
+//! proposition, worked example, or claim. `cargo run -p bench --bin
+//! harness [--release] [e1 … e10 | all]` prints the tables; the Criterion
+//! benches under `benches/` cover the runtime claims.
+
+pub mod experiments;
+pub mod fixtures;
+
+/// Minimal fixed-width table printer used by the harness output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (cells already formatted).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (k, c) in row.iter().enumerate() {
+                widths[k] = widths[k].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["n", "value"]);
+        t.row(vec!["3".into(), "1.5".into()]);
+        t.row(vec!["100".into(), "1.8889".into()]);
+        let s = t.render();
+        assert!(s.contains("  n   value"));
+        assert!(s.lines().count() == 4);
+    }
+}

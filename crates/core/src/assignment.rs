@@ -1,0 +1,227 @@
+//! Affinity-mask assignments and the feasibility conditions of (IP-2).
+
+use core::fmt;
+
+use numeric::Q;
+
+use crate::instance::Instance;
+
+/// An assignment of each job to an admissible set index (its affinity
+/// mask), i.e. an integral solution `x` of (IP-1)/(IP-2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assignment {
+    /// `mask[j]` = set index job `j` is assigned to.
+    mask: Vec<usize>,
+}
+
+/// A violated condition of (IP-2) for a candidate `(assignment, T)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AssignmentViolation {
+    /// The assignment's length differs from the instance's job count.
+    WrongLength,
+    /// A job is assigned to a set where its processing time is ∞.
+    InfiniteTime { job: usize },
+    /// Constraint (2c): `p_{αj} > T` for an assigned pair.
+    JobExceedsHorizon { job: usize, set: usize },
+    /// Constraint (2b): `Σ_j Σ_{β⊆α} p_βj x_βj > |α|·T`.
+    CapacityExceeded { set: usize },
+}
+
+impl fmt::Display for AssignmentViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentViolation::WrongLength => write!(f, "assignment length mismatch"),
+            AssignmentViolation::InfiniteTime { job } => {
+                write!(f, "job {job} assigned to a set with infinite processing time")
+            }
+            AssignmentViolation::JobExceedsHorizon { job, set } => {
+                write!(f, "job {job} on set #{set} exceeds the horizon T (constraint 2c)")
+            }
+            AssignmentViolation::CapacityExceeded { set } => {
+                write!(f, "set #{set} violates its volume capacity |α|T (constraint 2b)")
+            }
+        }
+    }
+}
+
+impl Assignment {
+    /// Wrap a per-job mask vector.
+    pub fn new(mask: Vec<usize>) -> Self {
+        Assignment { mask }
+    }
+
+    /// Set index assigned to `job`.
+    pub fn mask_of(&self, job: usize) -> usize {
+        self.mask[job]
+    }
+
+    /// Number of jobs covered.
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// True iff no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Iterate `(job, set index)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.mask.iter().copied().enumerate()
+    }
+
+    /// Jobs assigned to set `a`, ascending.
+    pub fn jobs_on(&self, a: usize) -> Vec<usize> {
+        self.iter().filter(|&(_, s)| s == a).map(|(j, _)| j).collect()
+    }
+
+    /// Total processing volume of jobs assigned to set `a`:
+    /// `Σ_{j : x_{aj}=1} p_{aj}` (the `V` of Algorithms 1 and 2).
+    pub fn volume_on(&self, instance: &Instance, a: usize) -> Q {
+        let mut v = Q::zero();
+        for j in self.jobs_on(a) {
+            if let Some(p) = instance.ptime_q(j, a) {
+                v += p;
+            }
+        }
+        v
+    }
+
+    /// Check the (IP-2) conditions for horizon `T` exactly.
+    ///
+    /// By Theorem IV.3 these necessary conditions are also sufficient:
+    /// when this returns `Ok`, Algorithms 2+3 produce a valid schedule in
+    /// `[0, T]`.
+    pub fn check_ip2(&self, instance: &Instance, t: &Q) -> Result<(), AssignmentViolation> {
+        if self.mask.len() != instance.num_jobs() {
+            return Err(AssignmentViolation::WrongLength);
+        }
+        for (j, &a) in self.mask.iter().enumerate() {
+            match instance.ptime_q(j, a) {
+                None => return Err(AssignmentViolation::InfiniteTime { job: j }),
+                Some(p) => {
+                    if p > *t {
+                        return Err(AssignmentViolation::JobExceedsHorizon { job: j, set: a });
+                    }
+                }
+            }
+        }
+        for a in 0..instance.family().len() {
+            let mut vol = Q::zero();
+            for b in instance.subsets_of(a) {
+                vol += self.volume_on(instance, b);
+            }
+            let cap = Q::from(instance.family().set(a).len() as u64) * t.clone();
+            if vol > cap {
+                return Err(AssignmentViolation::CapacityExceeded { set: a });
+            }
+        }
+        Ok(())
+    }
+
+    /// The smallest integer horizon `T` for which
+    /// [`check_ip2`](Self::check_ip2) passes, if the assignment is
+    /// realizable at all (it computes `max(max p, max_α ⌈vol(α)/|α|⌉)`).
+    pub fn minimal_integral_horizon(&self, instance: &Instance) -> Option<u64> {
+        if self.mask.len() != instance.num_jobs() {
+            return None;
+        }
+        let mut t = 0u64;
+        for (j, &a) in self.mask.iter().enumerate() {
+            t = t.max(instance.ptime(j, a)?);
+        }
+        for a in 0..instance.family().len() {
+            let mut vol = Q::zero();
+            for b in instance.subsets_of(a) {
+                vol += self.volume_on(instance, b);
+            }
+            let per_machine = vol / Q::from(instance.family().set(a).len() as u64);
+            let ceil = per_machine.ceil();
+            let ceil_u = ceil.to_i64().expect("instance volumes fit i64") as u64;
+            t = t.max(ceil_u);
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar::topology;
+
+    fn example_ii_1() -> Instance {
+        Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![None, Some(1), None],
+                vec![None, None, Some(1)],
+                vec![Some(2), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_optimal_assignment_feasible_at_2() {
+        let inst = example_ii_1();
+        // job 1 → {0}, job 2 → {1}, job 3 → global (paper's optimum).
+        let asg = Assignment::new(vec![1, 2, 0]);
+        assert!(asg.check_ip2(&inst, &Q::from_int(2)).is_ok());
+        assert_eq!(asg.minimal_integral_horizon(&inst), Some(2));
+    }
+
+    #[test]
+    fn infeasible_at_1() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        // At T=1 job 3 violates (2c).
+        assert_eq!(
+            asg.check_ip2(&inst, &Q::from_int(1)),
+            Err(AssignmentViolation::JobExceedsHorizon { job: 2, set: 0 })
+        );
+    }
+
+    #[test]
+    fn local_assignment_needs_3() {
+        let inst = example_ii_1();
+        // Forcing job 3 onto machine 0 loads it with 1 + 2 = 3.
+        let asg = Assignment::new(vec![1, 2, 1]);
+        assert_eq!(asg.minimal_integral_horizon(&inst), Some(3));
+        assert_eq!(
+            asg.check_ip2(&inst, &Q::from_int(2)),
+            Err(AssignmentViolation::CapacityExceeded { set: 1 })
+        );
+        assert!(asg.check_ip2(&inst, &Q::from_int(3)).is_ok());
+    }
+
+    #[test]
+    fn infinite_assignment_rejected() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![0, 2, 0]); // job 1 can't run globally
+        assert_eq!(
+            asg.check_ip2(&inst, &Q::from_int(10)),
+            Err(AssignmentViolation::InfiniteTime { job: 0 })
+        );
+        assert_eq!(asg.minimal_integral_horizon(&inst), None);
+    }
+
+    #[test]
+    fn volumes_and_job_lists() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        assert_eq!(asg.jobs_on(0), vec![2]);
+        assert_eq!(asg.jobs_on(1), vec![0]);
+        assert_eq!(asg.volume_on(&inst, 0), Q::from_int(2));
+        assert_eq!(asg.volume_on(&inst, 1), Q::from_int(1));
+    }
+
+    #[test]
+    fn wrong_length_detected() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2]);
+        assert_eq!(
+            asg.check_ip2(&inst, &Q::from_int(5)),
+            Err(AssignmentViolation::WrongLength)
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! LP/ILP builders for the paper's programs (IP-1)…(IP-3).
+//!
+//! (IP-1) is the semi-partitioned special case of (IP-2), so a single
+//! builder covers both. The decision form (IP-3) fixes `T`, prunes the
+//! variable set to `R = {(α, j) : p_{αj} ≤ T}` (which absorbs constraint
+//! (2c)), and asks for feasibility of the assignment + capacity system.
+
+use std::collections::HashMap;
+
+use lp::{LinearProgram, Relation};
+use numeric::Q;
+
+use crate::assignment::Assignment;
+use crate::instance::Instance;
+
+/// Maps LP variable indices to `(set, job)` pairs of the pruned set `R`.
+#[derive(Clone, Debug)]
+pub struct VarMap {
+    pairs: Vec<(usize, usize)>,
+    index: HashMap<(usize, usize), usize>,
+}
+
+impl VarMap {
+    /// Build from an ordered pair list.
+    pub fn new(pairs: Vec<(usize, usize)>) -> Self {
+        let index = pairs.iter().enumerate().map(|(k, &p)| (p, k)).collect();
+        VarMap { pairs, index }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True iff there are no variables.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Variable index of pair `(set, job)`, if in `R`.
+    pub fn var(&self, set: usize, job: usize) -> Option<usize> {
+        self.index.get(&(set, job)).copied()
+    }
+
+    /// Pair `(set, job)` of variable `v`.
+    pub fn pair(&self, v: usize) -> (usize, usize) {
+        self.pairs[v]
+    }
+
+    /// All pairs in variable order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+}
+
+/// Build the decision system (IP-3) for integral horizon `t`:
+/// variables over `R`, one assignment equality per job, one capacity
+/// constraint `Σ_j Σ_{β⊆α} p_βj x_βj ≤ |α|·t` per set `α`.
+///
+/// Returns `None` when some job has no admissible pair in `R` — then no
+/// (fractional or integral) solution exists at this `t`.
+pub fn build_ip3(instance: &Instance, t: u64) -> Option<(LinearProgram, VarMap)> {
+    let vm = VarMap::new(instance.pruned_pairs(t));
+    // Every job needs at least one variable.
+    for j in 0..instance.num_jobs() {
+        let has = (0..instance.family().len()).any(|a| vm.var(a, j).is_some());
+        if !has {
+            return None;
+        }
+    }
+    let mut lp = LinearProgram::new(vm.len());
+    // Assignment constraints: Σ_α x_αj = 1 for every job.
+    for j in 0..instance.num_jobs() {
+        let coeffs: Vec<(usize, Q)> = (0..instance.family().len())
+            .filter_map(|a| vm.var(a, j).map(|v| (v, Q::one())))
+            .collect();
+        lp.add_constraint(coeffs, Relation::Eq, Q::one());
+    }
+    // Capacity constraints (3a): Σ_j Σ_{β⊆α} p_βj x_βj ≤ |α|·t.
+    for a in 0..instance.family().len() {
+        let mut coeffs: Vec<(usize, Q)> = Vec::new();
+        for b in instance.subsets_of(a) {
+            for j in 0..instance.num_jobs() {
+                if let Some(v) = vm.var(b, j) {
+                    let p = instance.ptime_q(j, b).expect("pairs in R are finite");
+                    coeffs.push((v, p));
+                }
+            }
+        }
+        let cap = Q::from(instance.family().set(a).len() as u64) * Q::from(t);
+        lp.add_constraint(coeffs, Relation::Le, cap);
+    }
+    Some((lp, vm))
+}
+
+/// Fractional lower-bound LP for horizon `t` (Lawler–Labetoulle-style):
+/// like (IP-3)'s relaxation but with *fractional* pruning
+/// `p_αj · x_αj ≤ t` instead of dropping pairs. Its feasibility at
+/// `t = OPT` holds for every instance, so the minimal feasible `t` is a
+/// valid lower bound on the optimal makespan — used by the experiments
+/// to report ratios without solving the NP-hard problem on large inputs.
+pub fn build_fractional_lb(instance: &Instance, t: u64) -> (LinearProgram, VarMap) {
+    let mut pairs = Vec::new();
+    for a in 0..instance.family().len() {
+        for j in 0..instance.num_jobs() {
+            if instance.ptime(j, a).is_some() {
+                pairs.push((a, j));
+            }
+        }
+    }
+    let vm = VarMap::new(pairs);
+    let mut lp = LinearProgram::new(vm.len());
+    for j in 0..instance.num_jobs() {
+        let coeffs: Vec<(usize, Q)> = (0..instance.family().len())
+            .filter_map(|a| vm.var(a, j).map(|v| (v, Q::one())))
+            .collect();
+        lp.add_constraint(coeffs, Relation::Eq, Q::one());
+    }
+    for a in 0..instance.family().len() {
+        let mut coeffs: Vec<(usize, Q)> = Vec::new();
+        for b in instance.subsets_of(a) {
+            for j in 0..instance.num_jobs() {
+                if let Some(v) = vm.var(b, j) {
+                    coeffs.push((v, instance.ptime_q(j, b).expect("finite")));
+                }
+            }
+        }
+        let cap = Q::from(instance.family().set(a).len() as u64) * Q::from(t);
+        lp.add_constraint(coeffs, Relation::Le, cap);
+    }
+    // Fractional pruning: p_αj x_αj ≤ t.
+    for v in 0..vm.len() {
+        let (a, j) = vm.pair(v);
+        let p = instance.ptime_q(j, a).expect("finite");
+        if p.is_positive() {
+            lp.add_constraint(vec![(v, p)], Relation::Le, Q::from(t));
+        }
+    }
+    (lp, vm)
+}
+
+/// Decode a 0/1 LP solution into an [`Assignment`]. Returns `None` if any
+/// job's variables are not an exact 0/1 unit vector.
+pub fn assignment_from_solution(
+    instance: &Instance,
+    vm: &VarMap,
+    values: &[Q],
+) -> Option<Assignment> {
+    let mut mask = vec![usize::MAX; instance.num_jobs()];
+    for v in 0..vm.len() {
+        let x = &values[v];
+        if x.is_zero() {
+            continue;
+        }
+        if *x != Q::one() {
+            return None;
+        }
+        let (a, j) = vm.pair(v);
+        if mask[j] != usize::MAX {
+            return None;
+        }
+        mask[j] = a;
+    }
+    mask.iter().all(|&a| a != usize::MAX).then(|| Assignment::new(mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar::topology;
+    use lp::LpStatus;
+
+    fn example_ii_1() -> Instance {
+        Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![None, Some(1), None],
+                vec![None, None, Some(1)],
+                vec![Some(2), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ip3_feasible_at_2_no_vars_below() {
+        let inst = example_ii_1();
+        let (lp, _) = build_ip3(&inst, 2).unwrap();
+        assert_eq!(lp.solve().status, LpStatus::Optimal);
+        // At t = 1 job 3 has no pair in R.
+        assert!(build_ip3(&inst, 1).is_none());
+    }
+
+    #[test]
+    fn ip3_volume_constraint_binds() {
+        let inst = Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![Some(3), Some(3), Some(3)],
+                vec![Some(3), Some(3), Some(3)],
+                vec![Some(3), Some(3), Some(3)],
+            ],
+        )
+        .unwrap();
+        // Volume 9 over 2 machines → needs 2t ≥ 9, i.e. t ≥ 5 integrally.
+        let (lp5, _) = build_ip3(&inst, 5).unwrap();
+        assert_eq!(lp5.solve().status, LpStatus::Optimal);
+        let (lp4, _) = build_ip3(&inst, 4).unwrap();
+        assert_eq!(lp4.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn varmap_roundtrip() {
+        let inst = example_ii_1();
+        let (_, vm) = build_ip3(&inst, 2).unwrap();
+        for v in 0..vm.len() {
+            let (a, j) = vm.pair(v);
+            assert_eq!(vm.var(a, j), Some(v));
+        }
+        assert_eq!(vm.var(0, 0), None, "job 0 cannot run globally");
+    }
+
+    #[test]
+    fn capacity_counts_subset_volume() {
+        // Local volumes count against the root capacity (2b at α = M).
+        let inst = Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![Some(4), Some(4), Some(4)],
+                vec![Some(4), Some(4), Some(4)],
+            ],
+        )
+        .unwrap();
+        // t = 3: pairs are pruned (4 > 3) → no variables for either job.
+        assert!(build_ip3(&inst, 3).is_none());
+        let (lp4, _) = build_ip3(&inst, 4).unwrap();
+        assert_eq!(lp4.solve().status, LpStatus::Optimal);
+    }
+
+    #[test]
+    fn fractional_lb_allows_splitting() {
+        let inst = example_ii_1();
+        let (lb2, _) = build_fractional_lb(&inst, 2);
+        assert_eq!(lb2.solve().status, LpStatus::Optimal);
+        // At t = 1: jobs 1,2 fill both machines completely (volume 2 = 2·1);
+        // job 3 needs 2 more units → root capacity 2·1 < 4. Infeasible.
+        let (lb1, _) = build_fractional_lb(&inst, 1);
+        assert_eq!(lb1.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn decode_integral_solution() {
+        let inst = example_ii_1();
+        let (lp, vm) = build_ip3(&inst, 2).unwrap();
+        let milp = lp::solve_binary(
+            &lp,
+            &(0..vm.len()).collect::<Vec<_>>(),
+            &lp::BnbOptions { first_feasible: true, ..Default::default() },
+        );
+        assert_eq!(milp.status, lp::MilpStatus::Optimal);
+        let asg = assignment_from_solution(&inst, &vm, &milp.values).unwrap();
+        assert!(asg.check_ip2(&inst, &Q::from_int(2)).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_fractional() {
+        let inst = example_ii_1();
+        let (_, vm) = build_ip3(&inst, 2).unwrap();
+        let half = vec![Q::ratio(1, 2); vm.len()];
+        assert!(assignment_from_solution(&inst, &vm, &half).is_none());
+    }
+}

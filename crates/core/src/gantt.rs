@@ -1,0 +1,108 @@
+//! ASCII Gantt rendering of schedules — used by the examples and handy
+//! when debugging scheduler output.
+//!
+//! Time is discretized into `width` columns over `[0, T]`; each machine
+//! is one row, each cell shows the job occupying (the majority of) that
+//! time slice, `·` when idle. Exact rational boundaries are honoured by
+//! sampling the midpoint of each slice, so a cell is never attributed to
+//! a job that does not run at that midpoint.
+
+use numeric::Q;
+
+use crate::schedule::Schedule;
+
+/// Render `schedule` over `[0, t]` on `num_machines` rows and `width`
+/// columns. Job indices are shown base-62 (`0-9a-zA-Z`, `#` beyond).
+pub fn render(schedule: &Schedule, num_machines: usize, t: &Q, width: usize) -> String {
+    assert!(width > 0, "need at least one column");
+    let glyph = |job: usize| -> char {
+        const ALPHABET: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        if job < ALPHABET.len() {
+            ALPHABET[job] as char
+        } else {
+            '#'
+        }
+    };
+    let mut out = String::new();
+    // Header ruler.
+    out.push_str(&format!("time 0 .. {t} ({width} cols)\n"));
+    for i in 0..num_machines {
+        out.push_str(&format!("m{i:<2} |"));
+        for c in 0..width {
+            // Midpoint of column c: t * (2c+1) / (2*width).
+            let mid = t.clone() * Q::ratio((2 * c + 1) as i64, (2 * width) as i64);
+            let cell = schedule
+                .segments
+                .iter()
+                .find(|s| s.machine == i && s.start <= mid && mid < s.end)
+                .map(|s| glyph(s.job))
+                .unwrap_or('·');
+            out.push(cell);
+        }
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Segment;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn seg(job: usize, machine: usize, s: i64, e: i64) -> Segment {
+        Segment { job, machine, start: q(s), end: q(e) }
+    }
+
+    #[test]
+    fn renders_paper_example() {
+        // Example III.1's schedule on 2 machines, T = 2.
+        let sched = Schedule {
+            segments: vec![
+                seg(0, 0, 1, 2),
+                seg(1, 1, 0, 1),
+                seg(2, 0, 0, 1),
+                seg(2, 1, 1, 2),
+            ],
+        };
+        let g = render(&sched, 2, &q(2), 8);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "m0  |22220000|");
+        assert_eq!(lines[2], "m1  |11112222|");
+    }
+
+    #[test]
+    fn idle_cells_dotted() {
+        let sched = Schedule { segments: vec![seg(0, 0, 0, 1)] };
+        let g = render(&sched, 2, &q(2), 4);
+        assert!(g.contains("m0  |00··|"));
+        assert!(g.contains("m1  |····|"));
+    }
+
+    #[test]
+    fn fractional_boundaries_respected() {
+        // Job occupies [0, 1/2) of T = 1 with 2 columns: first column's
+        // midpoint 1/4 is inside, second (3/4) is not.
+        let sched = Schedule {
+            segments: vec![Segment {
+                job: 0,
+                machine: 0,
+                start: Q::zero(),
+                end: Q::ratio(1, 2),
+            }],
+        };
+        let g = render(&sched, 1, &Q::one(), 2);
+        assert!(g.contains("|0·|"));
+    }
+
+    #[test]
+    fn large_job_ids_fall_back_to_hash() {
+        let sched = Schedule { segments: vec![seg(99, 0, 0, 2)] };
+        let g = render(&sched, 1, &q(2), 2);
+        assert!(g.contains("|##|"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Algorithms 2 and 3: the hierarchical wrap-around scheduler (Section IV).
+//!
+//! Phase 1 ([`allocate_loads`], Algorithm 2) walks the laminar family
+//! bottom-up and decides `LOAD[i, α]` — how much of the volume of jobs
+//! assigned to set `α` runs on machine `i` — greedily filling machines in
+//! ascending order against the residual `T − TOT-LOAD[i, β]`. Lemma IV.1
+//! guarantees that for a feasible `(x, T)` all volume is placed and no
+//! machine exceeds `T`; Lemma IV.2 guarantees that for every set `β` at
+//! most one machine carries both `β` load and load of a strict superset —
+//! the property phase 2 exploits.
+//!
+//! Phase 2 ([`schedule_hierarchical`], Algorithm 3) walks top-down and
+//! lays each set's job stream around the circle `[0, T)`, starting on the
+//! unique shared machine at the wall time where the superset's jobs end
+//! (`t_{iα}`), so the per-machine occupied region stays one contiguous
+//! arc and nothing collides (Theorem IV.3).
+
+use core::fmt;
+
+use numeric::Q;
+
+use crate::assignment::{Assignment, AssignmentViolation};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::stream::{coalesce, JobStream};
+
+/// Failure modes of Algorithms 2+3.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HierError {
+    /// The `(assignment, T)` pair violates (IP-2); the wrapped violation
+    /// says which constraint.
+    Infeasible(AssignmentViolation),
+    /// Internal invariant broken (would contradict Lemma IV.1/IV.2);
+    /// never expected on feasible input.
+    InvariantBroken(&'static str),
+}
+
+impl fmt::Display for HierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierError::Infeasible(v) => write!(f, "assignment infeasible at T: {v}"),
+            HierError::InvariantBroken(s) => write!(f, "scheduler invariant broken: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+/// The `LOAD` table of Algorithm 2: `load[a][i]` is meaningful for
+/// machines `i ∈ α` and zero elsewhere.
+#[derive(Clone, Debug)]
+pub struct LoadTable {
+    /// `LOAD[i, α]` indexed `[set][machine]`.
+    pub load: Vec<Vec<Q>>,
+    /// `TOT-LOAD[i, α] = Σ_{β ⊆ α, i ∈ β} LOAD[i, β]` indexed `[set][machine]`.
+    pub tot_load: Vec<Vec<Q>>,
+}
+
+/// Algorithm 2: bottom-up volume allocation.
+///
+/// Returns the load table, or an error if the input violates (IP-2)
+/// (volume that cannot be placed — the contrapositive of Lemma IV.1 ii).
+pub fn allocate_loads(
+    instance: &Instance,
+    assignment: &Assignment,
+    t: &Q,
+) -> Result<LoadTable, HierError> {
+    let fam = instance.family();
+    let m = instance.num_machines();
+    let n_sets = fam.len();
+    let mut load = vec![vec![Q::zero(); m]; n_sets];
+    let mut tot_load = vec![vec![Q::zero(); m]; n_sets];
+
+    for &alpha in &fam.bottom_up_order() {
+        // V ← Σ_j p_{αj} x_{αj}
+        let mut v = assignment.volume_on(instance, alpha);
+        // foreach i ∈ α in ascending order
+        for i in fam.set(alpha).iter() {
+            // β: the maximal strict subset of α containing i (child), if any.
+            let below = match fam.child_containing(alpha, i) {
+                Some(beta) => tot_load[beta][i].clone(),
+                None => Q::zero(),
+            };
+            let avail = t.clone() - below.clone();
+            if avail.is_negative() {
+                return Err(HierError::InvariantBroken(
+                    "TOT-LOAD exceeded T below a set (Lemma IV.1 i)",
+                ));
+            }
+            let put = v.clone().min(avail);
+            load[alpha][i] = put.clone();
+            tot_load[alpha][i] = below + put.clone();
+            v -= put;
+        }
+        if v.is_positive() {
+            // Volume left over ⇒ constraint (2b) for α is violated.
+            return Err(HierError::Infeasible(AssignmentViolation::CapacityExceeded {
+                set: alpha,
+            }));
+        }
+    }
+    Ok(LoadTable { load, tot_load })
+}
+
+/// Lemma IV.2 witness: for set `beta`, the machines `i ∈ β` carrying both
+/// `LOAD[i, β] > 0` and `LOAD[i, α] > 0` for some strict superset `α`.
+/// On loads produced by Algorithm 2 this has at most one element.
+pub fn shared_machines(
+    instance: &Instance,
+    loads: &LoadTable,
+    beta: usize,
+) -> Vec<(usize, usize)> {
+    let fam = instance.family();
+    let mut out = Vec::new();
+    for i in fam.set(beta).iter() {
+        if !loads.load[beta][i].is_positive() {
+            continue;
+        }
+        // Walk the parent chain to find the minimal strict superset with
+        // positive load on i.
+        let mut cur = fam.parent(beta);
+        while let Some(alpha) = cur {
+            if loads.load[alpha][i].is_positive() {
+                out.push((i, alpha));
+                break;
+            }
+            cur = fam.parent(alpha);
+        }
+    }
+    out
+}
+
+/// Algorithms 2+3 end to end: produce a valid schedule in `[0, T]` for a
+/// feasible `(assignment, T)` (Theorem IV.3).
+pub fn schedule_hierarchical(
+    instance: &Instance,
+    assignment: &Assignment,
+    t: &Q,
+) -> Result<Schedule, HierError> {
+    assignment.check_ip2(instance, t).map_err(HierError::Infeasible)?;
+    let fam = instance.family();
+    let m = instance.num_machines();
+    let loads = allocate_loads(instance, assignment, t)?;
+
+    // t_at[a][i] — the paper's t_{iα}: wall time (mod T) where the jobs of
+    // set α end on machine i.
+    let mut t_at = vec![vec![Q::zero(); m]; fam.len()];
+    let mut segments = Vec::new();
+
+    for &beta in &fam.top_down_order() {
+        // Lines 4–10: pick the start machine ℓ and start time t_β.
+        let shared = shared_machines(instance, &loads, beta);
+        if shared.len() > 1 {
+            return Err(HierError::InvariantBroken(
+                "more than one shared machine for a set (Lemma IV.2)",
+            ));
+        }
+        let (start_machine, mut t_beta) = match shared.first() {
+            Some(&(i, alpha_min)) => (i, t_at[alpha_min][i].clone()),
+            None => (
+                fam.set(beta).first().expect("sets are nonempty"),
+                Q::zero(),
+            ),
+        };
+
+        // Job stream of β in ascending job order.
+        let mut stream = JobStream::new(assignment.jobs_on(beta).into_iter().map(|j| {
+            (
+                j,
+                instance
+                    .ptime_q(j, beta)
+                    .expect("check_ip2 verified finiteness"),
+            )
+        }));
+
+        // Lines 11–14: machines of β starting from ℓ, wrapping ascending.
+        let members = fam.set(beta).to_vec();
+        let pivot = members
+            .iter()
+            .position(|&k| k == start_machine)
+            .expect("start machine belongs to β");
+        let order = members[pivot..].iter().chain(members[..pivot].iter());
+        for &k in order {
+            let d = loads.load[beta][k].clone();
+            if d.is_positive() {
+                stream.place(k, &t_beta, &d, t, &mut segments);
+                t_beta = (t_beta + d).rem_euclid(t);
+            }
+            t_at[beta][k] = t_beta.clone();
+        }
+        if !stream.is_empty() {
+            return Err(HierError::InvariantBroken("stream not exhausted (Lemma IV.1 ii)"));
+        }
+    }
+
+    Ok(Schedule { segments: coalesce(segments) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laminar::topology;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn example_ii_1() -> Instance {
+        Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![None, Some(1), None],
+                vec![None, None, Some(1)],
+                vec![Some(2), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_iii_1_via_hierarchical() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        let sched = schedule_hierarchical(&inst, &asg, &q(2)).unwrap();
+        sched.validate(&inst, &asg, &q(2)).unwrap();
+        assert_eq!(sched.makespan(), q(2));
+    }
+
+    #[test]
+    fn loads_cover_volume_exactly() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        let loads = allocate_loads(&inst, &asg, &q(2)).unwrap();
+        // Lemma IV.1 ii: Σ_i LOAD[i, α] = volume(α) for every α.
+        for a in 0..inst.family().len() {
+            let placed = Q::sum(loads.load[a].iter());
+            assert_eq!(placed, asg.volume_on(&inst, a), "set {a}");
+        }
+        // Lemma IV.1 i: TOT-LOAD ≤ T everywhere.
+        for a in 0..inst.family().len() {
+            for i in 0..2 {
+                assert!(loads.tot_load[a][i] <= q(2));
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_iv_2_at_most_one_shared() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        let loads = allocate_loads(&inst, &asg, &q(2)).unwrap();
+        for beta in 0..inst.family().len() {
+            assert!(shared_machines(&inst, &loads, beta).len() <= 1, "set {beta}");
+        }
+    }
+
+    #[test]
+    fn clustered_three_levels() {
+        // 4 machines in 2 clusters; one job per level of the hierarchy.
+        let fam = topology::clustered(2, 2);
+        // sets: 0 = M, 1 = {0,1}, 2 = {2,3}, 3..6 singletons.
+        let inst = Instance::new(
+            fam,
+            vec![
+                vec![Some(4), Some(3), Some(3), Some(2), Some(2), Some(2), Some(2)],
+                vec![Some(4), Some(3), Some(3), Some(2), Some(2), Some(2), Some(2)],
+                vec![Some(6), Some(5), Some(5), Some(4), Some(4), Some(4), Some(4)],
+                vec![Some(6), Some(5), Some(5), Some(4), Some(4), Some(4), Some(4)],
+            ],
+        )
+        .unwrap();
+        // job 0 global, job 1 in cluster 0, job 2 on machine 2, job 3 cluster 1.
+        let asg = Assignment::new(vec![0, 1, 5, 2]);
+        let t = q(5);
+        let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+        sched.validate(&inst, &asg, &t).unwrap();
+    }
+
+    #[test]
+    fn deep_smp_cmp_tree() {
+        let fam = topology::smp_cmp(&[2, 2, 2]); // 8 machines, 15 sets
+        // Monotone times: overhead grows with set size.
+        let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+        let inst =
+            Instance::from_fn(fam, 10, |j, a| Some(2 + (j % 3) as u64 + sizes[a])).unwrap();
+        // Spread assignments over different levels, then find a feasible T.
+        let asg = Assignment::new(vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 0]);
+        let t = Q::from(asg.minimal_integral_horizon(&inst).unwrap());
+        let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+        sched.validate(&inst, &asg, &t).unwrap();
+    }
+
+    #[test]
+    fn infeasible_input_rejected() {
+        let inst = example_ii_1();
+        let asg = Assignment::new(vec![1, 2, 0]);
+        assert!(matches!(
+            schedule_hierarchical(&inst, &asg, &q(1)),
+            Err(HierError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn forest_without_root_set() {
+        // Two disjoint clusters, no global set: scheduling per tree.
+        let m = 4;
+        let sets = vec![
+            laminar::MachineSet::from_range(m, 0, 2),
+            laminar::MachineSet::from_range(m, 2, 4),
+            laminar::MachineSet::singleton(m, 0),
+            laminar::MachineSet::singleton(m, 1),
+            laminar::MachineSet::singleton(m, 2),
+            laminar::MachineSet::singleton(m, 3),
+        ];
+        let fam = laminar::LaminarFamily::new(m, sets).unwrap();
+        let inst = Instance::from_fn(fam, 4, |_, _| Some(3)).unwrap();
+        let asg = Assignment::new(vec![0, 1, 2, 5]);
+        let t = q(6);
+        let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+        sched.validate(&inst, &asg, &t).unwrap();
+    }
+
+    #[test]
+    fn tight_full_machine_load() {
+        // Global volume exactly m·T: every machine completely busy.
+        let inst = Instance::from_fn(topology::semi_partitioned(3), 9, |_, _| Some(2)).unwrap();
+        let asg = Assignment::new(vec![0; 9]);
+        let t = q(6); // 9·2 = 18 = 3·6
+        let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+        sched.validate(&inst, &asg, &t).unwrap();
+        for i in 0..3 {
+            assert_eq!(sched.machine_load(i), q(6));
+        }
+    }
+
+    #[test]
+    fn migration_bound_holds_hierarchical() {
+        // Proposition III.2-style bound check via the general scheduler on
+        // semi-partitioned instances.
+        for m in 2..6usize {
+            let inst =
+                Instance::from_fn(topology::semi_partitioned(m), 3 * m, |_, _| Some(3)).unwrap();
+            let asg = Assignment::new(vec![0; 3 * m]);
+            let t = q(9);
+            let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+            sched.validate(&inst, &asg, &t).unwrap();
+            assert!(sched.split_migrations() < m);
+            assert!(sched.disruptions().total() <= 2 * m - 2);
+        }
+    }
+
+    #[test]
+    fn fractional_horizon() {
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 3, |_, _| Some(3)).unwrap();
+        let asg = Assignment::new(vec![0, 0, 0]);
+        let t = Q::ratio(9, 2); // volume 9 = 2 · 9/2
+        let sched = schedule_hierarchical(&inst, &asg, &t).unwrap();
+        sched.validate(&inst, &asg, &t).unwrap();
+    }
+}

@@ -1,0 +1,292 @@
+//! Lemma V.1: pushing fractional weight down to the singletons.
+//!
+//! Given a feasible fractional solution `x` of the LP relaxation of
+//! (IP-3), repeatedly zero the weight on a non-singleton set `η` by
+//! redistributing each `x_{ηj}` to the children `β_1, …, β_q` of `η`
+//! proportionally to their slack. Monotonicity of the processing times
+//! makes the redistribution feasible (inequality (5) in the paper), and
+//! after a full top-down sweep only singleton sets carry weight — turning
+//! the hierarchical fractional solution into an unrelated-machines one
+//! that the Lenstra–Shmoys–Tardos rounding can consume.
+//!
+//! Precondition: the instance contains all singletons of covered machines
+//! (use [`Instance::with_singletons`]) so that every non-singleton set is
+//! exactly the union of its children.
+
+use core::fmt;
+
+use numeric::Q;
+
+use crate::formulations::VarMap;
+use crate::instance::Instance;
+
+/// Failure of the push-down transformation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PushdownError {
+    /// A non-singleton set is not covered by its children — the instance
+    /// was not singleton-completed.
+    ChildrenDontCover { set: usize },
+    /// The input solution is infeasible: positive weight on a set whose
+    /// children have zero total slack while `p_{ηj} > 0` (contradicts
+    /// inequality (5) of Lemma V.1).
+    InfeasibleInput { set: usize, job: usize },
+}
+
+impl fmt::Display for PushdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushdownError::ChildrenDontCover { set } => {
+                write!(f, "set #{set} is not the union of its children; complete singletons first")
+            }
+            PushdownError::InfeasibleInput { set, job } => {
+                write!(f, "no slack below set #{set} for job {job}: input solution infeasible")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PushdownError {}
+
+/// `slack(α, x) = |α|·T − Σ_j Σ_{β⊆α} p_βj x_βj` — nonnegative exactly
+/// when constraint (3a) holds at `α`.
+pub fn slack(instance: &Instance, vm: &VarMap, x: &[Q], alpha: usize, t: &Q) -> Q {
+    let mut used = Q::zero();
+    for b in instance.subsets_of(alpha) {
+        for j in 0..instance.num_jobs() {
+            if let Some(v) = vm.var(b, j) {
+                if !x[v].is_zero() {
+                    used += instance.ptime_q(j, b).expect("R pairs finite") * x[v].clone();
+                }
+            }
+        }
+    }
+    Q::from(instance.family().set(alpha).len() as u64) * t.clone() - used
+}
+
+/// Exact feasibility check of the LP relaxation of (IP-3) at `(x, T)`:
+/// nonnegativity, unit assignment per job, nonnegative slack per set.
+pub fn is_fractionally_feasible(instance: &Instance, vm: &VarMap, x: &[Q], t: &Q) -> bool {
+    if x.len() != vm.len() || x.iter().any(|v| v.is_negative()) {
+        return false;
+    }
+    for j in 0..instance.num_jobs() {
+        let mut total = Q::zero();
+        for a in 0..instance.family().len() {
+            if let Some(v) = vm.var(a, j) {
+                total += x[v].clone();
+            }
+        }
+        if total != Q::one() {
+            return false;
+        }
+    }
+    (0..instance.family().len()).all(|a| !slack(instance, vm, x, a, t).is_negative())
+}
+
+/// One application of Lemma V.1: zero all weight on the non-singleton set
+/// `eta`, redistributing to its children proportionally to slack.
+pub fn push_down_once(
+    instance: &Instance,
+    vm: &VarMap,
+    x: &mut [Q],
+    eta: usize,
+    t: &Q,
+) -> Result<(), PushdownError> {
+    let fam = instance.family();
+    debug_assert!(fam.set(eta).len() > 1, "push_down_once target must be non-singleton");
+    let children = fam.children(eta).to_vec();
+    // Children must cover η (guaranteed after singleton completion).
+    {
+        let mut u = laminar::MachineSet::empty(fam.num_machines());
+        for &c in &children {
+            u = u.union(fam.set(c));
+        }
+        if u != *fam.set(eta) {
+            return Err(PushdownError::ChildrenDontCover { set: eta });
+        }
+    }
+    // Slacks before the move (the lemma evaluates them at the old x).
+    let slacks: Vec<Q> =
+        children.iter().map(|&c| slack(instance, vm, x, c, t)).collect();
+    let total_slack = Q::sum(slacks.iter());
+
+    for j in 0..instance.num_jobs() {
+        let Some(v_eta) = vm.var(eta, j) else { continue };
+        let w = x[v_eta].clone();
+        if w.is_zero() {
+            continue;
+        }
+        if total_slack.is_zero() {
+            // Inequality (5) forces Σ_j p_ηj x_ηj ≤ 0; only zero-length
+            // jobs may carry weight here — push them to the first child.
+            let p = instance.ptime_q(j, eta).expect("R pairs finite");
+            if p.is_positive() {
+                return Err(PushdownError::InfeasibleInput { set: eta, job: j });
+            }
+            let c0 = children[0];
+            let v_c = vm
+                .var(c0, j)
+                .expect("monotonicity keeps zero-length pairs inside R");
+            x[v_c] += w;
+            x[v_eta] = Q::zero();
+            continue;
+        }
+        for (k, &c) in children.iter().enumerate() {
+            if slacks[k].is_zero() {
+                continue;
+            }
+            let share = w.clone() * slacks[k].clone() / total_slack.clone();
+            if share.is_zero() {
+                continue;
+            }
+            let v_c = vm.var(c, j).expect(
+                "monotonicity: p_βj ≤ p_ηj ≤ T, so the child pair is in R",
+            );
+            x[v_c] += share;
+        }
+        x[v_eta] = Q::zero();
+    }
+    Ok(())
+}
+
+/// Full top-down sweep: after this, `x` carries weight only on singleton
+/// sets and remains feasible (repeated Lemma V.1).
+pub fn push_down_all(
+    instance: &Instance,
+    vm: &VarMap,
+    x: &mut [Q],
+    t: &Q,
+) -> Result<(), PushdownError> {
+    let fam = instance.family();
+    for &eta in &fam.top_down_order() {
+        if fam.set(eta).len() > 1 {
+            push_down_once(instance, vm, x, eta, t)?;
+        }
+    }
+    Ok(())
+}
+
+/// True iff `x` has support only on singleton sets.
+pub fn supported_on_singletons(instance: &Instance, vm: &VarMap, x: &[Q]) -> bool {
+    (0..vm.len()).all(|v| {
+        let (a, _) = vm.pair(v);
+        x[v].is_zero() || instance.family().set(a).len() == 1
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulations::build_ip3;
+    use laminar::topology;
+    use lp::LpStatus;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn example_ii_1_completed() -> Instance {
+        Instance::new(
+            topology::semi_partitioned(2),
+            vec![
+                vec![None, Some(1), None],
+                vec![None, None, Some(1)],
+                vec![Some(2), Some(2), Some(2)],
+            ],
+        )
+        .unwrap()
+        .with_singletons() // already complete; no-op
+    }
+
+    #[test]
+    fn pushdown_preserves_feasibility_example() {
+        let inst = example_ii_1_completed();
+        let t = q(2);
+        let (lp, vm) = build_ip3(&inst, 2).unwrap();
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let mut x = sol.values.clone();
+        assert!(is_fractionally_feasible(&inst, &vm, &x, &t));
+        push_down_all(&inst, &vm, &mut x, &t).unwrap();
+        assert!(is_fractionally_feasible(&inst, &vm, &x, &t));
+        assert!(supported_on_singletons(&inst, &vm, &x));
+    }
+
+    #[test]
+    fn pushdown_on_three_levels() {
+        let fam = topology::clustered(2, 2);
+        let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+        let inst = Instance::from_fn(fam, 6, |j, a| Some(2 + (j % 2) as u64 + sizes[a]))
+            .unwrap();
+        // Find a feasible T for the LP.
+        let mut t = inst.bottleneck_lower_bound().max(inst.volume_lower_bound());
+        let (vm, mut x, tq) = loop {
+            if let Some((lp, vm)) = build_ip3(&inst, t) {
+                let sol = lp.solve();
+                if sol.status == LpStatus::Optimal {
+                    break (vm, sol.values, Q::from(t));
+                }
+            }
+            t += 1;
+        };
+        assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
+        push_down_all(&inst, &vm, &mut x, &tq).unwrap();
+        assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
+        assert!(supported_on_singletons(&inst, &vm, &x));
+    }
+
+    #[test]
+    fn pushdown_requires_singleton_completion() {
+        // Family {M} only: the root has no children at all.
+        let inst = Instance::from_fn(topology::global(2), 1, |_, _| Some(2)).unwrap();
+        let (_, vm) = build_ip3(&inst, 2).unwrap();
+        let mut x = vec![Q::one()];
+        assert_eq!(
+            push_down_once(&inst, &vm, &mut x, 0, &q(2)),
+            Err(PushdownError::ChildrenDontCover { set: 0 })
+        );
+    }
+
+    #[test]
+    fn weight_conservation() {
+        let inst = example_ii_1_completed();
+        let t = q(3);
+        let (lp, vm) = build_ip3(&inst, 3).unwrap();
+        let sol = lp.solve();
+        let mut x = sol.values.clone();
+        push_down_all(&inst, &vm, &mut x, &t).unwrap();
+        // Each job still sums to exactly 1.
+        for j in 0..inst.num_jobs() {
+            let total: Q = Q::sum(
+                (0..inst.family().len())
+                    .filter_map(|a| vm.var(a, j))
+                    .map(|v| &x[v])
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(total, Q::one());
+        }
+    }
+
+    #[test]
+    fn deep_tree_pushdown() {
+        let fam = topology::smp_cmp(&[2, 2]);
+        let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+        let inst =
+            Instance::from_fn(fam, 5, |j, a| Some(1 + j as u64 % 3 + sizes[a] / 2)).unwrap();
+        let mut t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound());
+        loop {
+            if let Some((lp, vm)) = build_ip3(&inst, t) {
+                let sol = lp.solve();
+                if sol.status == LpStatus::Optimal {
+                    let tq = Q::from(t);
+                    let mut x = sol.values;
+                    push_down_all(&inst, &vm, &mut x, &tq).unwrap();
+                    assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
+                    assert!(supported_on_singletons(&inst, &vm, &x));
+                    break;
+                }
+            }
+            t += 1;
+        }
+    }
+}

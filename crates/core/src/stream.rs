@@ -1,0 +1,177 @@
+//! Wrap-around placement of job streams — the core move of McNaughton's
+//! rule and of Algorithms 1 and 3: lay a fixed sequence of job pieces
+//! around the time circle `[0, T)`, splitting at the `T` boundary.
+
+use std::collections::VecDeque;
+
+use numeric::Q;
+
+use crate::schedule::Segment;
+
+/// A queue of `(job, remaining units)` pieces consumed in order.
+#[derive(Clone, Debug)]
+pub(crate) struct JobStream {
+    queue: VecDeque<(usize, Q)>,
+}
+
+impl JobStream {
+    /// Build from `(job, units)` pairs; zero-length pieces are dropped
+    /// (a zero-time job occupies no time slots).
+    pub(crate) fn new(pieces: impl IntoIterator<Item = (usize, Q)>) -> Self {
+        JobStream {
+            queue: pieces.into_iter().filter(|(_, p)| p.is_positive()).collect(),
+        }
+    }
+
+    /// Total remaining units.
+    pub(crate) fn remaining(&self) -> Q {
+        Q::sum(self.queue.iter().map(|(_, p)| p).collect::<Vec<_>>())
+    }
+
+    /// True iff nothing remains.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Place `amount` units of the stream on `machine`, starting at wall
+    /// time `start ∈ [0, T)` and wrapping at `T` (the paper's
+    /// `[t, t + δ (mod T)]` interval). Emits segments into `out`.
+    ///
+    /// Panics (debug) if `amount` exceeds what the stream holds or if the
+    /// amount exceeds `T` (which would self-overlap on the machine).
+    pub(crate) fn place(
+        &mut self,
+        machine: usize,
+        start: &Q,
+        amount: &Q,
+        t: &Q,
+        out: &mut Vec<Segment>,
+    ) {
+        debug_assert!(*start >= Q::zero() && *start < *t, "start must lie in [0, T)");
+        debug_assert!(*amount <= *t, "cannot place more than T units on one machine");
+        let mut wall = start.clone();
+        let mut left = amount.clone();
+        while left.is_positive() {
+            let (job, piece) = self
+                .queue
+                .front_mut()
+                .expect("stream exhausted before the requested amount was placed");
+            let room = t.clone() - wall.clone();
+            let take = piece.clone().min(left.clone()).min(room);
+            debug_assert!(take.is_positive());
+            out.push(Segment {
+                job: *job,
+                machine,
+                start: wall.clone(),
+                end: wall.clone() + take.clone(),
+            });
+            wall += take.clone();
+            if wall == *t {
+                wall = Q::zero();
+            }
+            left -= take.clone();
+            *piece -= take;
+            let done = !piece.is_positive();
+            let _ = job;
+            if done {
+                self.queue.pop_front();
+            }
+        }
+    }
+}
+
+/// Merge back-to-back segments of the same job on the same machine
+/// (cosmetic: `place` may split a run at a piece boundary).
+pub(crate) fn coalesce(mut segments: Vec<Segment>) -> Vec<Segment> {
+    segments.sort_by(|a, b| {
+        (a.machine, &a.start).cmp(&(b.machine, &b.start))
+    });
+    let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
+    for s in segments {
+        if let Some(last) = out.last_mut() {
+            if last.machine == s.machine && last.job == s.job && last.end == s.start {
+                last.end = s.end;
+                continue;
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    #[test]
+    fn simple_placement() {
+        let mut st = JobStream::new([(0, q(2)), (1, q(3))]);
+        let mut out = Vec::new();
+        st.place(0, &q(0), &q(5), &q(10), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].job, 0);
+        assert_eq!((out[0].start.clone(), out[0].end.clone()), (q(0), q(2)));
+        assert_eq!(out[1].job, 1);
+        assert_eq!((out[1].start.clone(), out[1].end.clone()), (q(2), q(5)));
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn wrap_around_splits() {
+        let mut st = JobStream::new([(7, q(6))]);
+        let mut out = Vec::new();
+        // start at 8, T = 10 → [8,10) then [0,4)
+        st.place(1, &q(8), &q(6), &q(10), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].start.clone(), out[0].end.clone()), (q(8), q(10)));
+        assert_eq!((out[1].start.clone(), out[1].end.clone()), (q(0), q(4)));
+        assert!(out.iter().all(|s| s.job == 7 && s.machine == 1));
+    }
+
+    #[test]
+    fn partial_placement_leaves_remainder() {
+        let mut st = JobStream::new([(0, q(4))]);
+        let mut out = Vec::new();
+        st.place(0, &q(0), &q(1), &q(10), &mut out);
+        assert_eq!(st.remaining(), q(3));
+        st.place(1, &q(1), &q(3), &q(10), &mut out);
+        assert!(st.is_empty());
+        // Same job continues on machine 1 at wall time 1: no overlap.
+        assert_eq!(out[1].machine, 1);
+        assert_eq!(out[1].start, q(1));
+    }
+
+    #[test]
+    fn zero_pieces_dropped() {
+        let st = JobStream::new([(0, q(0)), (1, q(2))]);
+        assert_eq!(st.remaining(), q(2));
+    }
+
+    #[test]
+    fn coalesce_merges_adjacent() {
+        let segs = vec![
+            Segment { job: 0, machine: 0, start: q(0), end: q(1) },
+            Segment { job: 0, machine: 0, start: q(1), end: q(2) },
+            Segment { job: 1, machine: 0, start: q(2), end: q(3) },
+            Segment { job: 0, machine: 1, start: q(1), end: q(2) },
+        ];
+        let merged = coalesce(segs);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0].end, q(2));
+    }
+
+    #[test]
+    fn rational_amounts() {
+        let mut st = JobStream::new([(0, Q::ratio(7, 3))]);
+        let mut out = Vec::new();
+        st.place(0, &Q::ratio(9, 2), &Q::ratio(7, 3), &q(5), &mut out);
+        // [9/2, 5) length 1/2, wrap, [0, 11/6)
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].end, Q::ratio(11, 6));
+        assert!(st.is_empty());
+    }
+}

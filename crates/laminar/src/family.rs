@@ -1,0 +1,412 @@
+//! Validated laminar families and their forest structure.
+
+use core::fmt;
+
+use crate::machine_set::MachineSet;
+
+/// Why a proposed family is not a usable laminar family.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LaminarError {
+    /// Two sets overlap without nesting: neither `α ⊆ β`, `β ⊆ α`, nor
+    /// `α ∩ β = ∅` (violates the paper's laminarity requirement).
+    Crossing(usize, usize),
+    /// The family contains the same set twice (the paper assumes all sets
+    /// in `A` are distinct, w.l.o.g.).
+    Duplicate(usize, usize),
+    /// A set is empty (an empty affinity mask can never schedule a job).
+    EmptySet(usize),
+    /// A set's universe size does not match the family's machine count.
+    UniverseMismatch(usize),
+}
+
+impl fmt::Display for LaminarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaminarError::Crossing(a, b) => {
+                write!(f, "sets #{a} and #{b} cross (overlap without nesting)")
+            }
+            LaminarError::Duplicate(a, b) => write!(f, "sets #{a} and #{b} are equal"),
+            LaminarError::EmptySet(a) => write!(f, "set #{a} is empty"),
+            LaminarError::UniverseMismatch(a) => {
+                write!(f, "set #{a} has a different machine universe")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaminarError {}
+
+/// A laminar family `A` over machines `{0, …, m−1}` with precomputed
+/// forest structure.
+///
+/// Sets are referred to by their index into [`sets`](Self::sets); indices
+/// are stable (construction never reorders the input). The forest edges
+/// connect each set to its inclusion-minimal strict superset within the
+/// family ([`parent`](Self::parent)).
+#[derive(Clone, Debug)]
+pub struct LaminarFamily {
+    num_machines: usize,
+    sets: Vec<MachineSet>,
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    /// Paper's definition: `level(β) = |{α ∈ A : β ⊆ α}|` (counts `β`
+    /// itself, so roots have level 1).
+    level: Vec<usize>,
+    /// Height in the forest: 0 for leaves of the forest (sets with no
+    /// child set), else 1 + max over children. Used by memory Model 2.
+    height: Vec<usize>,
+}
+
+impl LaminarFamily {
+    /// Validate and build the family; `sets` order is preserved.
+    pub fn new(num_machines: usize, sets: Vec<MachineSet>) -> Result<Self, LaminarError> {
+        for (i, s) in sets.iter().enumerate() {
+            if s.universe() != num_machines {
+                return Err(LaminarError::UniverseMismatch(i));
+            }
+            if s.is_empty() {
+                return Err(LaminarError::EmptySet(i));
+            }
+        }
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                if sets[i] == sets[j] {
+                    return Err(LaminarError::Duplicate(i, j));
+                }
+                let nested = sets[i].is_subset(&sets[j]) || sets[j].is_subset(&sets[i]);
+                if !nested && !sets[i].is_disjoint(&sets[j]) {
+                    return Err(LaminarError::Crossing(i, j));
+                }
+            }
+        }
+        // Parent: the smallest-cardinality strict superset (unique minimal
+        // superset by laminarity).
+        let mut parent = vec![None; sets.len()];
+        for i in 0..sets.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..sets.len() {
+                if i != j && sets[i].is_strict_subset(&sets[j]) {
+                    match best {
+                        None => best = Some(j),
+                        Some(b) => {
+                            if sets[j].len() < sets[b].len() {
+                                best = Some(j)
+                            }
+                        }
+                    }
+                }
+            }
+            parent[i] = best;
+        }
+        let mut children = vec![Vec::new(); sets.len()];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[*p].push(i);
+            }
+        }
+        // Level: number of supersets including self.
+        let mut level = vec![0usize; sets.len()];
+        for i in 0..sets.len() {
+            level[i] = (0..sets.len()).filter(|&j| sets[i].is_subset(&sets[j])).count();
+        }
+        // Height: longest downward path to a forest leaf.
+        let mut height = vec![0usize; sets.len()];
+        let order = {
+            // process by increasing cardinality → children first
+            let mut idx: Vec<usize> = (0..sets.len()).collect();
+            idx.sort_by_key(|&i| sets[i].len());
+            idx
+        };
+        for &i in &order {
+            height[i] = children[i].iter().map(|&c| height[c] + 1).max().unwrap_or(0);
+        }
+        Ok(LaminarFamily { num_machines, sets, parent, children, level, height })
+    }
+
+    /// Number of machines `m` in the universe.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Number of sets `|A|`.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True iff the family has no sets.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// All sets, by index.
+    pub fn sets(&self) -> &[MachineSet] {
+        &self.sets
+    }
+
+    /// The set with index `a`.
+    pub fn set(&self, a: usize) -> &MachineSet {
+        &self.sets[a]
+    }
+
+    /// Index of a set equal to `s`, if present.
+    pub fn index_of(&self, s: &MachineSet) -> Option<usize> {
+        self.sets.iter().position(|t| t == s)
+    }
+
+    /// Inclusion-minimal strict superset within the family.
+    pub fn parent(&self, a: usize) -> Option<usize> {
+        self.parent[a]
+    }
+
+    /// Maximal strict subsets of set `a` (its forest children).
+    pub fn children(&self, a: usize) -> &[usize] {
+        &self.children[a]
+    }
+
+    /// Paper level of set `a` (roots have level 1).
+    pub fn level(&self, a: usize) -> usize {
+        self.level[a]
+    }
+
+    /// Level of the instance: maximum level over all sets.
+    pub fn max_level(&self) -> usize {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Forest height of set `a` (leaves have height 0). Model 2's `h(α)`.
+    pub fn height(&self, a: usize) -> usize {
+        self.height[a]
+    }
+
+    /// Indices of root sets (no strict superset in the family).
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.parent[i].is_none()).collect()
+    }
+
+    /// Indices of leaf sets (no strict subset in the family).
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.children[i].is_empty()).collect()
+    }
+
+    /// Set indices ordered children-before-parents (the visiting order of
+    /// Algorithm 2: a set is visited only after all its subsets).
+    pub fn bottom_up_order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Cardinality is a valid topological key in a laminar family:
+        // β ⊂ α ⇒ |β| < |α|. Ties broken by index for determinism.
+        idx.sort_by_key(|&i| (self.sets[i].len(), i));
+        idx
+    }
+
+    /// Set indices ordered parents-before-children (Algorithm 3's order).
+    pub fn top_down_order(&self) -> Vec<usize> {
+        let mut v = self.bottom_up_order();
+        v.reverse();
+        v
+    }
+
+    /// The maximal proper subset of `alpha` (within the family) that
+    /// contains machine `i` — the `β` of Algorithm 2 line 8, i.e. the
+    /// child of `alpha` containing `i`, if any.
+    pub fn child_containing(&self, alpha: usize, i: usize) -> Option<usize> {
+        self.children[alpha].iter().copied().find(|&c| self.sets[c].contains(i))
+    }
+
+    /// The inclusion-minimal set of the family containing machine `i`.
+    pub fn minimal_set_containing(&self, i: usize) -> Option<usize> {
+        (0..self.len())
+            .filter(|&a| self.sets[a].contains(i))
+            .min_by_key(|&a| self.sets[a].len())
+    }
+
+    /// Union of all sets — the machines the family can actually use.
+    pub fn covered_machines(&self) -> MachineSet {
+        let mut u = MachineSet::empty(self.num_machines);
+        for s in &self.sets {
+            u = u.union(s);
+        }
+        u
+    }
+
+    /// Extend the family with any missing singleton sets (the paper's
+    /// w.l.o.g. step before Lemma V.1) for machines covered by at least
+    /// one set. Returns the new family and, for each added singleton, the
+    /// pair `(new set index, index of the minimal original set containing
+    /// that machine)` — the source its processing times inherit from.
+    pub fn with_singletons(&self) -> (LaminarFamily, Vec<(usize, usize)>) {
+        let mut sets = self.sets.clone();
+        let mut inherited = Vec::new();
+        for i in self.covered_machines().iter() {
+            let single = MachineSet::singleton(self.num_machines, i);
+            if !sets.contains(&single) {
+                let src = self
+                    .minimal_set_containing(i)
+                    .expect("machine is covered, so a containing set exists");
+                inherited.push((sets.len(), src));
+                sets.push(single);
+            }
+        }
+        let fam = LaminarFamily::new(self.num_machines, sets)
+            .expect("adding singletons preserves laminarity");
+        (fam, inherited)
+    }
+
+    /// True iff every leaf of the forest is a singleton and every root is
+    /// the full machine set — the "tree with all leaves at the same
+    /// level" setting can then be checked with [`Self::uniform_leaf_level`].
+    pub fn is_rooted_tree(&self) -> bool {
+        let roots = self.roots();
+        roots.len() == 1 && self.sets[roots[0]].len() == self.num_machines
+    }
+
+    /// If all forest leaves share the same level, return `Some(k)` where
+    /// `k = max_level` (the number of levels of the instance); else `None`.
+    /// Memory Model 2 assumes this shape.
+    pub fn uniform_leaf_level(&self) -> Option<usize> {
+        let leaves = self.leaves();
+        let first = self.level[*leaves.first()?];
+        leaves.iter().all(|&l| self.level[l] == first).then(|| self.max_level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(universe: usize, v: &[usize]) -> MachineSet {
+        MachineSet::from_iter(universe, v.iter().copied())
+    }
+
+    /// Semi-partitioned family on 3 machines: {M, {0}, {1}, {2}}.
+    fn semi3() -> LaminarFamily {
+        LaminarFamily::new(
+            3,
+            vec![ms(3, &[0, 1, 2]), ms(3, &[0]), ms(3, &[1]), ms(3, &[2])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn semi_partitioned_structure() {
+        let f = semi3();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.parent(0), None);
+        assert_eq!(f.parent(1), Some(0));
+        assert_eq!(f.children(0), &[1, 2, 3]);
+        assert_eq!(f.level(0), 1);
+        assert_eq!(f.level(1), 2);
+        assert_eq!(f.max_level(), 2);
+        assert_eq!(f.height(0), 1);
+        assert_eq!(f.height(2), 0);
+        assert_eq!(f.roots(), vec![0]);
+        assert_eq!(f.leaves(), vec![1, 2, 3]);
+        assert!(f.is_rooted_tree());
+        assert_eq!(f.uniform_leaf_level(), Some(2));
+    }
+
+    #[test]
+    fn crossing_rejected() {
+        let err = LaminarFamily::new(4, vec![ms(4, &[0, 1]), ms(4, &[1, 2])]);
+        assert_eq!(err.unwrap_err(), LaminarError::Crossing(0, 1));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let err = LaminarFamily::new(4, vec![ms(4, &[0, 1]), ms(4, &[0, 1])]);
+        assert_eq!(err.unwrap_err(), LaminarError::Duplicate(0, 1));
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let err = LaminarFamily::new(4, vec![MachineSet::empty(4)]);
+        assert_eq!(err.unwrap_err(), LaminarError::EmptySet(0));
+    }
+
+    #[test]
+    fn universe_mismatch_rejected() {
+        let err = LaminarFamily::new(4, vec![ms(5, &[0])]);
+        assert_eq!(err.unwrap_err(), LaminarError::UniverseMismatch(0));
+    }
+
+    #[test]
+    fn three_level_cluster() {
+        // m=4: root {0..3}, clusters {0,1} and {2,3}, singletons.
+        let f = LaminarFamily::new(
+            4,
+            vec![
+                ms(4, &[0, 1, 2, 3]),
+                ms(4, &[0, 1]),
+                ms(4, &[2, 3]),
+                ms(4, &[0]),
+                ms(4, &[1]),
+                ms(4, &[2]),
+                ms(4, &[3]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.parent(1), Some(0));
+        assert_eq!(f.parent(3), Some(1));
+        assert_eq!(f.parent(5), Some(2));
+        assert_eq!(f.level(3), 3);
+        assert_eq!(f.max_level(), 3);
+        assert_eq!(f.height(0), 2);
+        assert_eq!(f.child_containing(0, 2), Some(2));
+        assert_eq!(f.child_containing(1, 0), Some(3));
+        assert_eq!(f.child_containing(1, 2), None);
+        assert_eq!(f.minimal_set_containing(2), Some(5));
+        assert_eq!(f.uniform_leaf_level(), Some(3));
+    }
+
+    #[test]
+    fn bottom_up_respects_inclusion() {
+        let f = semi3();
+        let order = f.bottom_up_order();
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        for a in 0..f.len() {
+            if let Some(p) = f.parent(a) {
+                assert!(pos(a) < pos(p), "child before parent");
+            }
+        }
+        let td = f.top_down_order();
+        assert_eq!(td.len(), f.len());
+        assert_eq!(td[0], 0);
+    }
+
+    #[test]
+    fn forest_with_two_roots() {
+        // Two disjoint clusters without a global set.
+        let f = LaminarFamily::new(
+            4,
+            vec![ms(4, &[0, 1]), ms(4, &[2, 3]), ms(4, &[0]), ms(4, &[2])],
+        )
+        .unwrap();
+        assert_eq!(f.roots(), vec![0, 1]);
+        assert!(!f.is_rooted_tree());
+        assert_eq!(f.covered_machines(), ms(4, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn singleton_completion() {
+        let f = LaminarFamily::new(3, vec![ms(3, &[0, 1, 2]), ms(3, &[0])]).unwrap();
+        let (g, inherited) = f.with_singletons();
+        assert_eq!(g.len(), 4); // adds {1}, {2}
+        // Both inherit from the root (the only set containing them).
+        assert_eq!(inherited.len(), 2);
+        for (_new_idx, src) in &inherited {
+            assert_eq!(*src, 0);
+        }
+        // Already-present singleton {0} not duplicated.
+        assert_eq!(
+            g.sets().iter().filter(|s| s.len() == 1).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn uncovered_machines_excluded_from_completion() {
+        // Machine 3 is in no set: with_singletons must not invent it.
+        let f = LaminarFamily::new(4, vec![ms(4, &[0, 1, 2])]).unwrap();
+        let (g, _) = f.with_singletons();
+        assert!(g.sets().iter().all(|s| !s.contains(3)));
+    }
+}

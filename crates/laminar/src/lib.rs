@@ -1,0 +1,24 @@
+//! Laminar (hierarchical) families of machine sets.
+//!
+//! The paper restricts the admissible family `A ⊆ 2^M` to be *laminar*:
+//! any two sets are either nested or disjoint (Section II). This crate
+//! provides the two structural building blocks the scheduling algorithms
+//! need:
+//!
+//! * [`MachineSet`] — a compact bitset over the machine universe
+//!   `M = {0, …, m−1}` (the paper indexes machines from 1; we use
+//!   0-based indices throughout the code);
+//! * [`LaminarFamily`] — a validated laminar family with its forest
+//!   structure (parents, children, levels, heights) and the bottom-up /
+//!   top-down traversal orders used by Algorithms 2 and 3.
+//!
+//! [`topology`] offers ready-made architectures: global, partitioned,
+//! semi-partitioned, clustered `k×q`, and multi-level SMP-CMP trees —
+//! the special cases enumerated in Section II of the paper.
+
+mod family;
+mod machine_set;
+pub mod topology;
+
+pub use family::{LaminarError, LaminarFamily};
+pub use machine_set::MachineSet;

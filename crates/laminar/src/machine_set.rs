@@ -1,0 +1,266 @@
+//! Bitsets over the machine universe.
+
+use core::fmt;
+
+/// A subset of the machine universe `{0, …, m−1}`, stored as 64-bit words.
+///
+/// The universe size `m` is part of the value; operations combining two
+/// sets require equal universes (checked by assertion) so that sets from
+/// different instances cannot be mixed accidentally.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MachineSet {
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl MachineSet {
+    fn words_for(universe: usize) -> usize {
+        universe.div_ceil(64)
+    }
+
+    /// Empty subset of a universe of `m` machines.
+    pub fn empty(universe: usize) -> Self {
+        MachineSet { universe, words: vec![0; Self::words_for(universe)] }
+    }
+
+    /// The full universe `{0, …, m−1}`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = Self::empty(universe);
+        for i in 0..universe {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The singleton `{i}`.
+    pub fn singleton(universe: usize, i: usize) -> Self {
+        let mut s = Self::empty(universe);
+        s.insert(i);
+        s
+    }
+
+    /// Build from an iterator of machine indices.
+    pub fn from_iter<I: IntoIterator<Item = usize>>(universe: usize, iter: I) -> Self {
+        let mut s = Self::empty(universe);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Build from a contiguous range `[lo, hi)`.
+    pub fn from_range(universe: usize, lo: usize, hi: usize) -> Self {
+        Self::from_iter(universe, lo..hi)
+    }
+
+    /// Universe size `m` this set lives in.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Add machine `i`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.universe, "machine {i} outside universe {}", self.universe);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Remove machine `i`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.universe, "machine {i} outside universe {}", self.universe);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.universe && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Cardinality `|α|`.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    fn check_universe(&self, other: &Self) {
+        assert_eq!(
+            self.universe, other.universe,
+            "MachineSet universes differ ({} vs {})",
+            self.universe, other.universe
+        );
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ⊂ other` (strict).
+    pub fn is_strict_subset(&self, other: &Self) -> bool {
+        self.is_subset(other) && self != other
+    }
+
+    /// `self ∩ other = ∅`.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Self) -> Self {
+        self.check_universe(other);
+        MachineSet {
+            universe: self.universe,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Self) -> Self {
+        self.check_universe(other);
+        MachineSet {
+            universe: self.universe,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        self.check_universe(other);
+        MachineSet {
+            universe: self.universe,
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & !b).collect(),
+        }
+    }
+
+    /// Smallest machine index in the set (`min β` in Algorithm 3 line 10).
+    pub fn first(&self) -> Option<usize> {
+        self.iter().next()
+    }
+
+    /// Iterate machine indices in ascending order (Algorithm 2 line 7
+    /// requires ascending iteration).
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            core::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Collect into a `Vec` of indices (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Display for MachineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for MachineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = MachineSet::empty(100);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(99);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(63) && s.contains(64));
+        assert!(!s.contains(1));
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_universe_insert_panics() {
+        MachineSet::empty(4).insert(4);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = MachineSet::from_iter(10, [1, 2, 3]);
+        let b = MachineSet::from_iter(10, [1, 2, 3, 7]);
+        let c = MachineSet::from_iter(10, [4, 5]);
+        assert!(a.is_subset(&b));
+        assert!(a.is_strict_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(!a.is_strict_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn algebra() {
+        let a = MachineSet::from_iter(8, [0, 1, 2]);
+        let b = MachineSet::from_iter(8, [2, 3]);
+        assert_eq!(a.union(&b), MachineSet::from_iter(8, [0, 1, 2, 3]));
+        assert_eq!(a.intersection(&b), MachineSet::singleton(8, 2));
+        assert_eq!(a.difference(&b), MachineSet::from_iter(8, [0, 1]));
+    }
+
+    #[test]
+    fn iteration_ascending_across_words() {
+        let s = MachineSet::from_iter(130, [129, 0, 64, 63, 100]);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 100, 129]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(MachineSet::empty(5).first(), None);
+    }
+
+    #[test]
+    fn full_and_range() {
+        let f = MachineSet::full(70);
+        assert_eq!(f.len(), 70);
+        let r = MachineSet::from_range(10, 3, 7);
+        assert_eq!(r.to_vec(), vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = MachineSet::from_iter(5, [0, 2, 4]);
+        assert_eq!(format!("{s}"), "{0,2,4}");
+        assert_eq!(format!("{}", MachineSet::empty(5)), "{}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_universes_panic() {
+        let a = MachineSet::empty(4);
+        let b = MachineSet::empty(5);
+        let _ = a.is_subset(&b);
+    }
+}

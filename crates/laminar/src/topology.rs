@@ -1,0 +1,149 @@
+//! Ready-made machine hierarchies.
+//!
+//! These constructors realize the special cases listed in Section II of
+//! the paper and the SMP-CMP cluster architectures its introduction
+//! motivates (e.g. dual-core Xeon nodes: intra-CMP / inter-CMP /
+//! inter-node communication levels).
+
+use crate::family::LaminarFamily;
+use crate::machine_set::MachineSet;
+
+/// `A = {M}`: identical parallel machines with free migration
+/// (`P|pmtn|Cmax`, McNaughton).
+pub fn global(m: usize) -> LaminarFamily {
+    LaminarFamily::new(m, vec![MachineSet::full(m)]).expect("global family is laminar")
+}
+
+/// `A = {{0}, …, {m−1}}`: unrelated machines, no migration (`R||Cmax`).
+pub fn partitioned(m: usize) -> LaminarFamily {
+    let sets = (0..m).map(|i| MachineSet::singleton(m, i)).collect();
+    LaminarFamily::new(m, sets).expect("singleton family is laminar")
+}
+
+/// `A = {M, {0}, …, {m−1}}`: semi-partitioned scheduling — each job is
+/// either fixed to one machine or migratory over all of `M` (Section III).
+pub fn semi_partitioned(m: usize) -> LaminarFamily {
+    let mut sets = vec![MachineSet::full(m)];
+    sets.extend((0..m).map(|i| MachineSet::singleton(m, i)));
+    LaminarFamily::new(m, sets).expect("semi-partitioned family is laminar")
+}
+
+/// Clustered scheduling with `k` clusters of `q` machines (`m = k·q`):
+/// global set + clusters + singletons (Section II).
+pub fn clustered(k: usize, q: usize) -> LaminarFamily {
+    let m = k * q;
+    let mut sets = vec![MachineSet::full(m)];
+    for c in 0..k {
+        sets.push(MachineSet::from_range(m, c * q, (c + 1) * q));
+    }
+    sets.extend((0..m).map(|i| MachineSet::singleton(m, i)));
+    // q = 1 would duplicate singletons with clusters; dedupe.
+    sets.dedup_by(|a, b| a == b);
+    let mut uniq: Vec<MachineSet> = Vec::new();
+    for s in sets {
+        if !uniq.contains(&s) {
+            uniq.push(s);
+        }
+    }
+    LaminarFamily::new(m, uniq).expect("clustered family is laminar")
+}
+
+/// A complete multi-level SMP-CMP tree. `branching[l]` is the fan-out at
+/// depth `l`; the number of machines is the product of all branching
+/// factors. Every internal node of the tree becomes a set, plus the leaf
+/// singletons. Example: `smp_cmp(&[2, 2, 2])` models 2 nodes × 2 chips ×
+/// 2 cores = 8 machines with 4 levels of sets (root, node, chip, core).
+pub fn smp_cmp(branching: &[usize]) -> LaminarFamily {
+    assert!(!branching.is_empty(), "need at least one level");
+    assert!(branching.iter().all(|&b| b >= 1), "branching factors must be ≥ 1");
+    let m: usize = branching.iter().product();
+    let mut sets = Vec::new();
+    // Depth d partitions machines into `prefix(d)` groups of equal width.
+    let mut groups = 1usize;
+    sets.push(MachineSet::full(m));
+    for &b in branching {
+        groups *= b;
+        let width = m / groups;
+        for g in 0..groups {
+            let s = MachineSet::from_range(m, g * width, (g + 1) * width);
+            if !sets.contains(&s) {
+                sets.push(s);
+            }
+        }
+    }
+    LaminarFamily::new(m, sets).expect("smp-cmp tree is laminar")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_shape() {
+        let f = global(4);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.set(0).len(), 4);
+        assert_eq!(f.max_level(), 1);
+    }
+
+    #[test]
+    fn partitioned_shape() {
+        let f = partitioned(5);
+        assert_eq!(f.len(), 5);
+        assert!(f.sets().iter().all(|s| s.len() == 1));
+        assert_eq!(f.roots().len(), 5);
+    }
+
+    #[test]
+    fn semi_partitioned_shape() {
+        let f = semi_partitioned(4);
+        assert_eq!(f.len(), 5);
+        assert_eq!(f.max_level(), 2);
+        assert!(f.is_rooted_tree());
+    }
+
+    #[test]
+    fn clustered_shape() {
+        let f = clustered(2, 3); // 6 machines
+        assert_eq!(f.num_machines(), 6);
+        assert_eq!(f.len(), 1 + 2 + 6);
+        assert_eq!(f.max_level(), 3);
+        assert_eq!(f.uniform_leaf_level(), Some(3));
+    }
+
+    #[test]
+    fn clustered_degenerate_q1() {
+        // q = 1: clusters coincide with singletons; must not duplicate.
+        let f = clustered(3, 1);
+        assert_eq!(f.num_machines(), 3);
+        assert_eq!(f.len(), 1 + 3);
+        assert_eq!(f.max_level(), 2);
+    }
+
+    #[test]
+    fn smp_cmp_three_levels() {
+        let f = smp_cmp(&[2, 2, 2]);
+        assert_eq!(f.num_machines(), 8);
+        // root + 2 nodes + 4 chips + 8 cores
+        assert_eq!(f.len(), 1 + 2 + 4 + 8);
+        assert_eq!(f.max_level(), 4);
+        assert_eq!(f.uniform_leaf_level(), Some(4));
+        assert!(f.is_rooted_tree());
+    }
+
+    #[test]
+    fn smp_cmp_single_level() {
+        let f = smp_cmp(&[4]);
+        assert_eq!(f.num_machines(), 4);
+        assert_eq!(f.len(), 5); // = semi-partitioned
+        assert_eq!(f.max_level(), 2);
+    }
+
+    #[test]
+    fn smp_cmp_unit_branching_collapses() {
+        // Branching factor 1 levels add duplicate sets; must dedupe.
+        let f = smp_cmp(&[1, 2]);
+        assert_eq!(f.num_machines(), 2);
+        assert_eq!(f.len(), 3); // {0,1}, {0}, {1}
+    }
+}

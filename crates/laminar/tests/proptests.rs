@@ -1,0 +1,114 @@
+//! Property-based tests for machine sets and laminar families.
+
+use laminar::{topology, LaminarFamily, MachineSet};
+use proptest::prelude::*;
+
+/// Strategy: random subsets of a universe of size `m`.
+fn subset(m: usize) -> impl Strategy<Value = MachineSet> {
+    proptest::collection::vec(proptest::bool::ANY, m)
+        .prop_map(move |bits| {
+            MachineSet::from_iter(m, bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Set algebra laws on random subsets.
+    #[test]
+    fn set_algebra_laws(a in subset(20), b in subset(20), c in subset(20)) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(
+            a.union(&b).intersection(&c),
+            a.intersection(&c).union(&b.intersection(&c))
+        );
+        prop_assert_eq!(a.difference(&b).intersection(&b), MachineSet::empty(20));
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+        prop_assert_eq!(a.union(&b).len() + a.intersection(&b).len(), a.len() + b.len());
+    }
+
+    /// Iteration is ascending and consistent with membership.
+    #[test]
+    fn iteration_consistent(a in subset(130)) {
+        let v = a.to_vec();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(v.len(), a.len());
+        for &i in &v {
+            prop_assert!(a.contains(i));
+        }
+    }
+
+    /// Every SMP-CMP topology is a valid laminar family whose traversal
+    /// orders respect inclusion, and levels/heights are consistent.
+    #[test]
+    fn smp_cmp_structure(b1 in 1usize..4, b2 in 1usize..4, b3 in 1usize..3) {
+        let fam = topology::smp_cmp(&[b1, b2, b3]);
+        prop_assert_eq!(fam.num_machines(), b1 * b2 * b3);
+        // bottom-up: children before parents
+        let order = fam.bottom_up_order();
+        let pos = |x: usize| order.iter().position(|&y| y == x).unwrap();
+        for a in 0..fam.len() {
+            if let Some(p) = fam.parent(a) {
+                prop_assert!(pos(a) < pos(p));
+                prop_assert!(fam.set(a).is_strict_subset(fam.set(p)));
+                prop_assert_eq!(fam.level(a), fam.level(p) + 1);
+                prop_assert!(fam.height(p) > fam.height(a));
+            }
+        }
+        // Children of any set partition it (complete trees).
+        for a in 0..fam.len() {
+            let kids = fam.children(a);
+            if !kids.is_empty() {
+                let mut u = MachineSet::empty(fam.num_machines());
+                for &k in kids {
+                    prop_assert!(u.is_disjoint(fam.set(k)), "children overlap");
+                    u = u.union(fam.set(k));
+                }
+                prop_assert_eq!(&u, fam.set(a), "children cover parent");
+            }
+        }
+    }
+
+    /// Laminarity detection: sliding windows over the machine line cross
+    /// unless nested/disjoint — the validator must agree with the
+    /// definitional check.
+    #[test]
+    fn laminar_validation_matches_definition(
+        m in 4usize..10,
+        lo1 in 0usize..6, w1 in 1usize..5,
+        lo2 in 0usize..6, w2 in 1usize..5,
+    ) {
+        let a = MachineSet::from_range(m, lo1.min(m - 1), (lo1 + w1).min(m));
+        let b = MachineSet::from_range(m, lo2.min(m - 1), (lo2 + w2).min(m));
+        prop_assume!(!a.is_empty() && !b.is_empty() && a != b);
+        let nested_or_disjoint =
+            a.is_subset(&b) || b.is_subset(&a) || a.is_disjoint(&b);
+        let result = LaminarFamily::new(m, vec![a, b]);
+        prop_assert_eq!(result.is_ok(), nested_or_disjoint);
+    }
+
+    /// Singleton completion: afterwards every covered machine has its
+    /// singleton and the family is still laminar (constructor succeeded).
+    #[test]
+    fn singleton_completion_total(sets in proptest::collection::vec(0usize..5, 1..4)) {
+        // Build disjoint cluster windows of width 2 from offsets.
+        let m = 12;
+        let mut fam_sets = Vec::new();
+        for (k, off) in sets.iter().enumerate() {
+            let lo = (k * 4 + off % 3).min(m - 2);
+            let s = MachineSet::from_range(m, lo, lo + 2);
+            if fam_sets.iter().all(|t: &MachineSet| t.is_disjoint(&s) || t.is_subset(&s) || s.is_subset(t)) && !fam_sets.contains(&s) {
+                fam_sets.push(s);
+            }
+        }
+        prop_assume!(!fam_sets.is_empty());
+        let fam = LaminarFamily::new(m, fam_sets).expect("built laminar");
+        let (full, _) = fam.with_singletons();
+        for i in fam.covered_machines().iter() {
+            let single = MachineSet::singleton(m, i);
+            prop_assert!(full.index_of(&single).is_some());
+        }
+    }
+}

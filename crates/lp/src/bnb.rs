@@ -1,0 +1,286 @@
+//! Exact 0/1 branch-and-bound on top of the rational simplex.
+//!
+//! The scheduling experiments need true integral optima of the paper's
+//! ILPs ((IP-1), (IP-2) and their decision forms) on small instances to
+//! measure approximation ratios. This solver does plain depth-first
+//! branch and bound: the LP relaxation prunes (its value is an exact
+//! lower bound — no tolerances), branching fixes the most fractional
+//! binary variable, and the better-rounded branch is explored first.
+
+use numeric::Q;
+
+use crate::problem::{LinearProgram, Relation};
+use crate::simplex::LpStatus;
+
+/// Solver knobs.
+#[derive(Clone, Debug)]
+pub struct BnbOptions {
+    /// Upper bound on explored nodes; exceeded → [`MilpStatus::NodeLimit`].
+    pub node_limit: usize,
+    /// Stop at the first integral feasible solution (pure feasibility /
+    /// decision problems — the paper's binary-searched (IP-3)).
+    pub first_feasible: bool,
+}
+
+impl Default for BnbOptions {
+    fn default() -> Self {
+        BnbOptions { node_limit: 200_000, first_feasible: false }
+    }
+}
+
+/// Outcome of a branch-and-bound run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MilpStatus {
+    /// Proven optimal (or, with `first_feasible`, proven feasible).
+    Optimal,
+    /// Proven infeasible.
+    Infeasible,
+    /// Node limit hit before proof; `values` holds the incumbent if any.
+    NodeLimit,
+}
+
+/// Result of [`solve_binary`].
+#[derive(Clone, Debug)]
+pub struct MilpSolution {
+    /// Solve outcome.
+    pub status: MilpStatus,
+    /// Best integral point found (meaningful for `Optimal`, and for
+    /// `NodeLimit` when `has_incumbent`).
+    pub values: Vec<Q>,
+    /// Objective at `values`.
+    pub objective: Q,
+    /// Whether any integral feasible point was found.
+    pub has_incumbent: bool,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Minimize `lp`'s objective with the variables in `binary` restricted to
+/// {0, 1} (all other variables stay continuous and nonnegative).
+///
+/// Upper bounds `x ≤ 1` for the binary variables are added internally.
+pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> MilpSolution {
+    let mut root = lp.clone();
+    for &v in binary {
+        root.add_constraint(vec![(v, Q::one())], Relation::Le, Q::one());
+    }
+
+    let mut best: Option<(Q, Vec<Q>)> = None;
+    let mut nodes = 0usize;
+    let mut hit_limit = false;
+
+    // Each stack entry is a list of (var, value) fixings.
+    let mut stack: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
+
+    while let Some(fixings) = stack.pop() {
+        if nodes >= opts.node_limit {
+            hit_limit = true;
+            break;
+        }
+        nodes += 1;
+
+        let mut node_lp = root.clone();
+        for &(var, val) in &fixings {
+            let rhs = if val { Q::one() } else { Q::zero() };
+            node_lp.add_constraint(vec![(var, Q::one())], Relation::Eq, rhs);
+        }
+        let relax = node_lp.solve();
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // A bounded-variable binary program can only be unbounded
+                // through its continuous part; treat as no useful bound and
+                // keep branching only if some binary var is still free.
+                // (None of the scheduling programs are unbounded.)
+            }
+            LpStatus::Optimal => {
+                // Bound pruning.
+                if let Some((incumbent, _)) = &best {
+                    if !opts.first_feasible && relax.objective_value >= *incumbent {
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Most fractional binary variable.
+        let half = Q::ratio(1, 2);
+        let mut branch_var: Option<(usize, Q)> = None;
+        if relax.status == LpStatus::Optimal {
+            for &v in binary {
+                let x = &relax.values[v];
+                if x.is_zero() || *x == Q::one() {
+                    continue;
+                }
+                let dist = (x.clone() - half.clone()).abs();
+                match &branch_var {
+                    None => branch_var = Some((v, dist)),
+                    Some((_, best_dist)) => {
+                        if dist < *best_dist {
+                            branch_var = Some((v, dist));
+                        }
+                    }
+                }
+            }
+        } else {
+            // No LP point to guide us; branch on the first unfixed binary.
+            let fixed: Vec<usize> = fixings.iter().map(|&(v, _)| v).collect();
+            branch_var = binary
+                .iter()
+                .find(|v| !fixed.contains(v))
+                .map(|&v| (v, Q::zero()));
+        }
+
+        match branch_var {
+            None => {
+                // All binary vars integral: candidate incumbent.
+                if relax.status != LpStatus::Optimal {
+                    continue;
+                }
+                let obj = relax.objective_value.clone();
+                let better = match &best {
+                    None => true,
+                    Some((incumbent, _)) => obj < *incumbent,
+                };
+                if better {
+                    best = Some((obj, relax.values.clone()));
+                    if opts.first_feasible {
+                        break;
+                    }
+                }
+            }
+            Some((v, _)) => {
+                // Explore the branch nearest the LP value first (pushed
+                // last → popped first).
+                let prefer_one = relax.status == LpStatus::Optimal
+                    && relax.values[v] >= half;
+                let mut near = fixings.clone();
+                let mut far = fixings;
+                near.push((v, prefer_one));
+                far.push((v, !prefer_one));
+                stack.push(far);
+                stack.push(near);
+            }
+        }
+    }
+
+    match best {
+        Some((obj, values)) => MilpSolution {
+            status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Optimal },
+            values,
+            objective: obj,
+            has_incumbent: true,
+            nodes,
+        },
+        None => MilpSolution {
+            status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Infeasible },
+            values: vec![Q::zero(); lp.num_vars()],
+            objective: Q::zero(),
+            has_incumbent: false,
+            nodes,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    /// Knapsack-style: min -(3a + 4b + 5c) s.t. 2a + 3b + 4c <= 5.
+    /// Best: a + b (weight 5, value 7) vs a + c (6 > 5 no) vs b? …
+    #[test]
+    fn knapsack_optimum() {
+        let mut lp = LinearProgram::new(3);
+        lp.set_objective(0, q(-3));
+        lp.set_objective(1, q(-4));
+        lp.set_objective(2, q(-5));
+        lp.add_constraint(
+            vec![(0, q(2)), (1, q(3)), (2, q(4))],
+            Relation::Le,
+            q(5),
+        );
+        let sol = solve_binary(&lp, &[0, 1, 2], &BnbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert_eq!(sol.objective, q(-7));
+        assert_eq!(sol.values[0], q(1));
+        assert_eq!(sol.values[1], q(1));
+        assert_eq!(sol.values[2], q(0));
+    }
+
+    #[test]
+    fn infeasible_binary() {
+        // a + b = 1 and a + b = 2 cannot both hold.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(1));
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(2));
+        let sol = solve_binary(&lp, &[0, 1], &BnbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Infeasible);
+        assert!(!sol.has_incumbent);
+    }
+
+    #[test]
+    fn integrality_forces_worse_than_lp() {
+        // min -(a+b) s.t. a + b <= 3/2: LP gives 3/2, ILP gives 1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-1));
+        lp.set_objective(1, q(-1));
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Le, Q::ratio(3, 2));
+        let sol = solve_binary(&lp, &[0, 1], &BnbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert_eq!(sol.objective, q(-1));
+    }
+
+    #[test]
+    fn first_feasible_mode_stops_early() {
+        let mut lp = LinearProgram::new(4);
+        // Assignment-style feasibility: each pair sums to 1.
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(1));
+        lp.add_constraint(vec![(2, q(1)), (3, q(1))], Relation::Eq, q(1));
+        let sol = solve_binary(
+            &lp,
+            &[0, 1, 2, 3],
+            &BnbOptions { first_feasible: true, ..Default::default() },
+        );
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!(sol.has_incumbent);
+        // Each pair is a 0/1 split.
+        assert_eq!(sol.values[0].clone() + sol.values[1].clone(), q(1));
+        assert_eq!(sol.values[2].clone() + sol.values[3].clone(), q(1));
+    }
+
+    #[test]
+    fn mixed_continuous_and_binary() {
+        // min y s.t. y >= 2 - 2a, y >= 2a - 1, a binary, y continuous.
+        // a=0 → y=2; a=1 → y=1. Optimum: y=1 with a=1.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(1, q(1));
+        lp.add_constraint(vec![(1, q(1)), (0, q(2))], Relation::Ge, q(2));
+        lp.add_constraint(vec![(1, q(1)), (0, q(-2))], Relation::Ge, q(-1));
+        let sol = solve_binary(&lp, &[0], &BnbOptions::default());
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert_eq!(sol.values[0], q(1));
+        assert_eq!(sol.values[1], q(1));
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // Fractional at the root (Σx = 5/2) so branching is required; a
+        // budget of one node cannot finish the proof.
+        let mut lp = LinearProgram::new(6);
+        let coeffs: Vec<(usize, Q)> = (0..6).map(|i| (i, q(1))).collect();
+        lp.add_constraint(coeffs, Relation::Eq, Q::ratio(5, 2));
+        for i in 0..6 {
+            lp.set_objective(i, q(if i % 2 == 0 { 1 } else { -1 }));
+        }
+        let sol = solve_binary(
+            &lp,
+            &[0, 1, 2, 3, 4, 5],
+            &BnbOptions { node_limit: 1, first_feasible: false },
+        );
+        assert_eq!(sol.status, MilpStatus::NodeLimit);
+    }
+}

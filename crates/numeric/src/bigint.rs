@@ -1,0 +1,387 @@
+//! Signed arbitrary-precision integers (sign + magnitude).
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::biguint::BigUint;
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// Signed arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// The value -1.
+    pub fn neg_one() -> Self {
+        BigInt { sign: Sign::Negative, mag: BigUint::one() }
+    }
+
+    /// Construct from sign and magnitude (normalizes zero).
+    pub fn from_parts(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            Self::zero()
+        } else {
+            assert!(sign != Sign::Zero, "nonzero magnitude needs a nonzero sign");
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Construct from an `i64`.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
+            }
+        }
+    }
+
+    /// Construct from an `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => {
+                BigInt { sign: Sign::Positive, mag: BigUint::from_u128(v as u128) }
+            }
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, mag: BigUint::from_u128(v.unsigned_abs()) }
+            }
+        }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v) }
+        }
+    }
+
+    /// The sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude |self|.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True iff 0.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff > 0.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// True iff < 0.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        match self.sign {
+            Sign::Negative => BigInt { sign: Sign::Positive, mag: self.mag.clone() },
+            _ => self.clone(),
+        }
+    }
+
+    /// Value as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (mag <= i64::MAX as u64).then_some(mag as i64),
+            Sign::Negative => {
+                if mag <= i64::MAX as u64 + 1 {
+                    Some((mag as i128).checked_neg()? as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Approximate value as `f64` (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Self) -> Self {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt { sign: a, mag: self.mag.add(&other.mag) },
+            _ => match self.mag.cmp_mag(&other.mag) {
+                Ordering::Equal => Self::zero(),
+                Ordering::Greater => {
+                    BigInt { sign: self.sign, mag: self.mag.sub(&other.mag) }
+                }
+                Ordering::Less => BigInt { sign: other.sign, mag: other.mag.sub(&self.mag) },
+            },
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub_ref(&self, other: &Self) -> Self {
+        self.add_ref(&other.clone().neg())
+    }
+
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let sign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
+        BigInt { sign, mag: self.mag.mul(&other.mag) }
+    }
+
+    /// Truncated division: `(quotient, remainder)` with
+    /// `self = q*other + r`, `|r| < |other|`, `sign(r) = sign(self)` (or 0).
+    pub fn div_rem(&self, other: &Self) -> (Self, Self) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        let (qm, rm) = self.mag.div_rem(&other.mag);
+        let q_sign = if qm.is_zero() {
+            Sign::Zero
+        } else if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let r_sign = if rm.is_zero() { Sign::Zero } else { self.sign };
+        (BigInt { sign: q_sign, mag: qm }, BigInt { sign: r_sign, mag: rm })
+    }
+
+    /// gcd(|self|, |other|) as a nonnegative integer.
+    pub fn gcd(&self, other: &Self) -> Self {
+        let g = self.mag.gcd(&other.mag);
+        if g.is_zero() {
+            Self::zero()
+        } else {
+            BigInt { sign: Sign::Positive, mag: g }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        self.clone().neg()
+    }
+}
+
+impl Add for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: BigInt) -> BigInt {
+        self.add_ref(&rhs)
+    }
+}
+
+impl<'a> Add<&'a BigInt> for BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &'a BigInt) -> BigInt {
+        self.add_ref(rhs)
+    }
+}
+
+impl AddAssign for BigInt {
+    fn add_assign(&mut self, rhs: BigInt) {
+        *self = self.add_ref(&rhs);
+    }
+}
+
+impl Sub for BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: BigInt) -> BigInt {
+        self.sub_ref(&rhs)
+    }
+}
+
+impl SubAssign for BigInt {
+    fn sub_assign(&mut self, rhs: BigInt) {
+        *self = self.sub_ref(&rhs);
+    }
+}
+
+impl Mul for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: BigInt) -> BigInt {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl<'a> Mul<&'a BigInt> for BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &'a BigInt) -> BigInt {
+        self.mul_ref(rhs)
+    }
+}
+
+impl MulAssign for BigInt {
+    fn mul_assign(&mut self, rhs: BigInt) {
+        *self = self.mul_ref(&rhs);
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Negative, Negative) => other.mag.cmp_mag(&self.mag),
+            (Negative, _) => Ordering::Less,
+            (Zero, Negative) => Ordering::Greater,
+            (Zero, Zero) => Ordering::Equal,
+            (Zero, Positive) => Ordering::Less,
+            (Positive, Positive) => self.mag.cmp_mag(&other.mag),
+            (Positive, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        Self::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn construction_and_sign() {
+        assert!(i(0).is_zero());
+        assert!(i(5).is_positive());
+        assert!(i(-5).is_negative());
+        assert_eq!(i(-5).abs(), i(5));
+        assert_eq!(i(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!(i(i64::MAX).to_i64(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        for a in [-7i64, -1, 0, 1, 7, 42] {
+            for b in [-9i64, -7, 0, 3, 7] {
+                assert_eq!(i(a).add_ref(&i(b)).to_i64(), Some(a + b), "{a}+{b}");
+                assert_eq!(i(a).sub_ref(&i(b)).to_i64(), Some(a - b), "{a}-{b}");
+                assert_eq!(i(a).mul_ref(&i(b)).to_i64(), Some(a * b), "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_division_matches_rust() {
+        for a in [-17i64, -5, -1, 0, 1, 5, 17, 100] {
+            for b in [-7i64, -3, -1, 1, 3, 7] {
+                let (q, r) = i(a).div_rem(&i(b));
+                assert_eq!(q.to_i64(), Some(a / b), "{a}/{b}");
+                assert_eq!(r.to_i64(), Some(a % b), "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn division_by_zero_panics() {
+        let _ = i(5).div_rem(&i(0));
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(i(-3) < i(-2));
+        assert!(i(-1) < i(0));
+        assert!(i(0) < i(1));
+        assert!(i(2) < i(3));
+        assert!(i(-100) < i(100));
+    }
+
+    #[test]
+    fn gcd_signs_ignored() {
+        assert_eq!(i(-12).gcd(&i(18)), i(6));
+        assert_eq!(i(12).gcd(&i(-18)), i(6));
+        assert_eq!(i(0).gcd(&i(-5)), i(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(i(0).to_string(), "0");
+        assert_eq!(i(-42).to_string(), "-42");
+        assert_eq!(i(42).to_string(), "42");
+    }
+
+    #[test]
+    fn neg_is_involution() {
+        let v = i(-123);
+        assert_eq!((-(-v.clone())), v);
+        assert_eq!(-i(0), i(0));
+    }
+}

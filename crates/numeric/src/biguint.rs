@@ -1,0 +1,471 @@
+//! Unsigned arbitrary-precision integers.
+//!
+//! Representation: little-endian `u64` limbs with no trailing zero limb
+//! (the canonical form of zero is the empty limb vector). All public
+//! operations preserve canonicity.
+
+use core::cmp::Ordering;
+use core::fmt;
+
+/// Unsigned arbitrary-precision integer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// True iff this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff this is 1.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Construct from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// Approximate value as `f64` (for reporting only; never used in
+    /// algorithmic decisions).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 18446744073709551616.0 + limb as f64;
+        }
+        acc
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
+            }
+        }
+    }
+
+    fn trim(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let a = long[i];
+            let b = if i < short.len() { short[i] } else { 0 };
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Self::trim(out)
+    }
+
+    /// `self - other`; panics if `other > self`.
+    pub fn sub(&self, other: &Self) -> Self {
+        debug_assert!(self.cmp_mag(other) != Ordering::Less, "BigUint::sub underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = if i < other.limbs.len() { other.limbs[i] } else { 0 };
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        assert_eq!(borrow, 0, "BigUint::sub underflow");
+        Self::trim(out)
+    }
+
+    /// `self * other` (schoolbook).
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (k, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + k] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + k] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// Left shift by `n` bits.
+    pub fn shl(&self, n: u64) -> Self {
+        if self.is_zero() || n == 0 {
+            return self.clone();
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = (n % 64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &limb in &self.limbs {
+                out.push((limb << bit_shift) | carry);
+                carry = limb >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// Right shift by `n` bits.
+    pub fn shr(&self, n: u64) -> Self {
+        let limb_shift = (n / 64) as usize;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = (n % 64) as u32;
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift > 0 {
+            let mut carry = 0u64;
+            for limb in out.iter_mut().rev() {
+                let new_carry = *limb << (64 - bit_shift);
+                *limb = (*limb >> bit_shift) | carry;
+                carry = new_carry;
+            }
+        }
+        Self::trim(out)
+    }
+
+    /// Magnitude comparison.
+    pub fn cmp_mag(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+
+    /// Quotient and remainder of `self / other`; panics on division by zero.
+    ///
+    /// Binary long division: shifts the divisor up to align with the
+    /// dividend and subtracts greedily. O(bits·limbs) — fine at our sizes.
+    pub fn div_rem(&self, other: &Self) -> (Self, Self) {
+        assert!(!other.is_zero(), "BigUint division by zero");
+        match self.cmp_mag(other) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        // Fast path: single-limb divisor.
+        if other.limbs.len() == 1 {
+            let d = other.limbs[0];
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem = 0u128;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            return (Self::trim(q), Self::from_u64(rem as u64));
+        }
+        let shift = self.bits() - other.bits();
+        let mut remainder = self.clone();
+        let mut quotient = Self::zero();
+        let mut divisor = other.shl(shift);
+        let one = Self::one();
+        for s in (0..=shift).rev() {
+            if remainder.cmp_mag(&divisor) != Ordering::Less {
+                remainder = remainder.sub(&divisor);
+                quotient = quotient.add(&one.shl(s));
+            }
+            divisor = divisor.shr(1);
+        }
+        (quotient, remainder)
+    }
+
+    /// Greatest common divisor (Euclid on magnitudes).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Parse a decimal string of digits.
+    pub fn from_decimal(s: &str) -> Option<Self> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let ten = Self::from_u64(10);
+        let mut acc = Self::zero();
+        for b in s.bytes() {
+            acc = acc.mul(&ten).add(&Self::from_u64((b - b'0') as u64));
+        }
+        Some(acc)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_mag(other)
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = BigUint::from_u64(CHUNK);
+        let mut parts: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&chunk);
+            parts.push(r.to_u64().expect("remainder fits u64"));
+            cur = q;
+        }
+        let mut s = String::new();
+        s.push_str(&parts.pop().unwrap().to_string());
+        for p in parts.iter().rev() {
+            s.push_str(&format!("{:019}", p));
+        }
+        write!(f, "{}", s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero(), BigUint::from_u64(0));
+        assert_eq!(u(1).add(&u(0)), u(1));
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = u(u64::MAX);
+        let b = u(1);
+        let s = a.add(&b);
+        assert_eq!(s.to_u128(), Some(1u128 << 64));
+        assert_eq!(s.sub(&b), a);
+    }
+
+    #[test]
+    fn sub_borrow_chain() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = u(1);
+        let d = a.sub(&b);
+        assert_eq!(d.to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        let _ = u(1).sub(&u(2));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = u(u64::MAX);
+        let b = u(u64::MAX);
+        let p = a.mul(&b);
+        assert_eq!(p.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        let a = BigUint::from_u128(123456789012345678901234567890u128);
+        assert!(a.mul(&BigUint::zero()).is_zero());
+        assert_eq!(a.mul(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = BigUint::from_u128(0xDEADBEEFCAFEBABE1234567890ABCDEFu128);
+        assert_eq!(a.shl(67).shr(67), a);
+        assert_eq!(a.shl(0), a);
+        assert_eq!(a.shr(200), BigUint::zero());
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = u(17).div_rem(&u(5));
+        assert_eq!((q, r), (u(3), u(2)));
+        let (q, r) = u(4).div_rem(&u(9));
+        assert_eq!((q, r), (u(0), u(4)));
+        let (q, r) = u(9).div_rem(&u(9));
+        assert_eq!((q, r), (u(1), u(0)));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_u128(340282366920938463463374607431768211455u128); // 2^128-1
+        let b = BigUint::from_u128(18446744073709551629u128); // prime-ish > 2^64
+        let (q, r) = a.div_rem(&b);
+        let recomposed = q.mul(&b).add(&r);
+        assert_eq!(recomposed, a);
+        assert!(r.cmp_mag(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn gcd_examples() {
+        assert_eq!(u(12).gcd(&u(18)), u(6));
+        assert_eq!(u(0).gcd(&u(5)), u(5));
+        assert_eq!(u(5).gcd(&u(0)), u(5));
+        let a = u(2).mul(&u(3)).mul(&u(5)).mul(&u(7));
+        let b = u(3).mul(&u(7)).mul(&u(11));
+        assert_eq!(a.gcd(&b), u(21));
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(u(12345).to_string(), "12345");
+        let big = BigUint::from_decimal("123456789012345678901234567890123456789").unwrap();
+        assert_eq!(big.to_string(), "123456789012345678901234567890123456789");
+    }
+
+    #[test]
+    fn from_decimal_rejects_garbage() {
+        assert!(BigUint::from_decimal("").is_none());
+        assert!(BigUint::from_decimal("12a3").is_none());
+        assert_eq!(BigUint::from_decimal("000123").unwrap(), u(123));
+    }
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(u(1).bits(), 1);
+        assert_eq!(u(255).bits(), 8);
+        assert_eq!(BigUint::from_u128(1u128 << 100).bits(), 101);
+    }
+
+    #[test]
+    fn ordering_multi_limb() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = u(u64::MAX);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_monotone_ballpark() {
+        let a = BigUint::from_u128(1u128 << 80);
+        let f = a.to_f64();
+        assert!((f - (2f64).powi(80)).abs() / (2f64).powi(80) < 1e-12);
+    }
+}

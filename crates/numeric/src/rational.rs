@@ -1,0 +1,375 @@
+//! Exact rational numbers: the workhorse numeric type of the workspace.
+//!
+//! Invariants: denominator > 0, gcd(|num|, den) = 1, and 0 is `0/1`.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::bigint::BigInt;
+
+/// Exact rational number `num / den` in lowest terms with `den > 0`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct `num / den`, normalizing; panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "Rational with zero denominator");
+        let mut num = num;
+        let mut den = den;
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.gcd(&den);
+        if !g.is_zero() && g != BigInt::one() {
+            num = num.div_rem(&g).0;
+            den = den.div_rem(&g).0;
+        }
+        Rational { num, den }
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: BigInt::from_i64(v), den: BigInt::one() }
+    }
+
+    /// Construct from a [`BigInt`].
+    pub fn from_bigint(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+
+    /// Construct `p / q` from machine integers; panics if `q == 0`.
+    pub fn ratio(p: i64, q: i64) -> Self {
+        Self::new(BigInt::from_i64(p), BigInt::from_i64(q))
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// True iff 0.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// True iff > 0.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// True iff < 0.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse; panics if 0.
+    pub fn recip(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Self::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Floor: greatest integer ≤ self.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            q - BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Ceiling: least integer ≥ self.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            q + BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Approximate `f64` value (reporting only; never drives decisions).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// min of two rationals by value.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// max of two rationals by value.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Sum of an iterator of rationals.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Self {
+        let mut acc = Rational::zero();
+        for r in iter {
+            acc += r.clone();
+        }
+        acc
+    }
+
+    /// `self mod m` for positive modulus `m`: the representative in `[0, m)`.
+    ///
+    /// This is the wrap-around operation of Algorithms 1 and 3 in the paper
+    /// (time instants live on the circle `[0, T)`).
+    pub fn rem_euclid(&self, m: &Rational) -> Self {
+        assert!(m.is_positive(), "rem_euclid needs a positive modulus");
+        let q = (self.clone() / m.clone()).floor();
+        self.clone() - m.clone() * Rational::from_bigint(q)
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num.mul_ref(&rhs.den).add_ref(&rhs.num.mul_ref(&self.den)),
+            self.den.mul_ref(&rhs.den),
+        )
+    }
+}
+
+impl<'a> Add<&'a Rational> for Rational {
+    type Output = Rational;
+    fn add(self, rhs: &'a Rational) -> Rational {
+        self + rhs.clone()
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = self.clone() + rhs;
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(
+            self.num.mul_ref(&rhs.den).sub_ref(&rhs.num.mul_ref(&self.den)),
+            self.den.mul_ref(&rhs.den),
+        )
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = self.clone() - rhs;
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num.mul_ref(&rhs.num), self.den.mul_ref(&rhs.den))
+    }
+}
+
+impl<'a> Mul<&'a Rational> for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &'a Rational) -> Rational {
+        self * rhs.clone()
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = self.clone() * rhs;
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "Rational division by zero");
+        Rational::new(self.num.mul_ref(&rhs.den), self.den.mul_ref(&rhs.num))
+    }
+}
+
+impl DivAssign for Rational {
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = self.clone() / rhs;
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d with b,d > 0  ⇔  a*d vs c*b
+        self.num.mul_ref(&other.den).cmp(&other.num.mul_ref(&self.den))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Self::from_int(v)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(v: u64) -> Self {
+        Self::from_bigint(BigInt::from_u64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Rational {
+        Rational::ratio(p, q)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -7), Rational::zero());
+        assert!(r(1, -2).denom().is_positive());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 3).recip(), r(3, 1));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 2) > r(3, 1));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from_i64(3));
+        assert_eq!(r(7, 2).ceil(), BigInt::from_i64(4));
+        assert_eq!(r(-7, 2).floor(), BigInt::from_i64(-4));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from_i64(-3));
+        assert_eq!(r(6, 2).floor(), BigInt::from_i64(3));
+        assert_eq!(r(6, 2).ceil(), BigInt::from_i64(3));
+    }
+
+    #[test]
+    fn rem_euclid_wraps_onto_circle() {
+        let t = r(10, 1);
+        assert_eq!(r(3, 1).rem_euclid(&t), r(3, 1));
+        assert_eq!(r(13, 1).rem_euclid(&t), r(3, 1));
+        assert_eq!(r(10, 1).rem_euclid(&t), Rational::zero());
+        assert_eq!(r(-3, 1).rem_euclid(&t), r(7, 1));
+        assert_eq!(r(25, 2).rem_euclid(&t), r(5, 2));
+    }
+
+    #[test]
+    fn min_max_sum() {
+        assert_eq!(r(1, 2).min(r(1, 3)), r(1, 3));
+        assert_eq!(r(1, 2).max(r(1, 3)), r(1, 2));
+        let xs = [r(1, 2), r(1, 3), r(1, 6)];
+        assert_eq!(Rational::sum(xs.iter()), Rational::one());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(3, 1).to_string(), "3");
+        assert_eq!(r(-3, 2).to_string(), "-3/2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_close() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+}

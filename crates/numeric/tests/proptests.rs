@@ -1,0 +1,169 @@
+//! Property-based tests: the numeric crate must behave as the mathematical
+//! structures it models (ℕ for BigUint, ℤ for BigInt, ℚ for Rational),
+//! cross-checked against i128 arithmetic as the oracle.
+
+use numeric::{BigInt, BigUint, Rational};
+use proptest::prelude::*;
+
+fn big(v: u64) -> BigUint {
+    BigUint::from_u64(v)
+}
+
+proptest! {
+    #[test]
+    fn biguint_add_matches_u128(a: u64, b: u64) {
+        let s = big(a).add(&big(b));
+        prop_assert_eq!(s.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn biguint_mul_matches_u128(a: u64, b: u64) {
+        let p = big(a).mul(&big(b));
+        prop_assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn biguint_divrem_invariant(a: u128, b in 1u128..) {
+        let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u128(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn biguint_mul_then_div_roundtrip(a: u128, b in 1u64..) {
+        let prod = BigUint::from_u128(a).mul(&big(b));
+        let (q, r) = prod.div_rem(&big(b));
+        prop_assert_eq!(q, BigUint::from_u128(a));
+        prop_assert!(r.is_zero());
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a: u128, s in 0u64..300) {
+        let x = BigUint::from_u128(a);
+        prop_assert_eq!(x.shl(s).shr(s), x);
+    }
+
+    #[test]
+    fn biguint_decimal_roundtrip(a: u128) {
+        let x = BigUint::from_u128(a);
+        prop_assert_eq!(BigUint::from_decimal(&x.to_string()), Some(x));
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a: u64, b: u64) {
+        let g = big(a).gcd(&big(b));
+        if !g.is_zero() {
+            prop_assert!(big(a).div_rem(&g).1.is_zero());
+            prop_assert!(big(b).div_rem(&g).1.is_zero());
+        } else {
+            prop_assert_eq!((a, b), (0, 0));
+        }
+    }
+
+    #[test]
+    fn bigint_ring_laws(a: i64, b: i64, c: i64) {
+        let (x, y, z) = (BigInt::from_i64(a), BigInt::from_i64(b), BigInt::from_i64(c));
+        // commutativity / associativity / distributivity
+        prop_assert_eq!(x.add_ref(&y), y.add_ref(&x));
+        prop_assert_eq!(x.add_ref(&y).add_ref(&z), x.add_ref(&y.add_ref(&z)));
+        prop_assert_eq!(x.mul_ref(&y), y.mul_ref(&x));
+        prop_assert_eq!(x.mul_ref(&y).mul_ref(&z), x.mul_ref(&y.mul_ref(&z)));
+        prop_assert_eq!(
+            x.mul_ref(&y.add_ref(&z)),
+            x.mul_ref(&y).add_ref(&x.mul_ref(&z))
+        );
+    }
+
+    #[test]
+    fn bigint_sub_add_inverse(a: i64, b: i64) {
+        let (x, y) = (BigInt::from_i64(a), BigInt::from_i64(b));
+        prop_assert_eq!(x.sub_ref(&y).add_ref(&y), x);
+    }
+
+    #[test]
+    fn bigint_divrem_identity(a: i64, b in prop::num::i64::ANY.prop_filter("nonzero", |v| *v != 0)) {
+        let (x, y) = (BigInt::from_i64(a), BigInt::from_i64(b));
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(q.mul_ref(&y).add_ref(&r), x);
+        prop_assert!(r.abs() < y.abs());
+    }
+
+    #[test]
+    fn bigint_order_consistent_with_i64(a: i64, b: i64) {
+        prop_assert_eq!(BigInt::from_i64(a).cmp(&BigInt::from_i64(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn rational_field_laws(
+        an in -1000i64..1000, ad in 1i64..100,
+        bn in -1000i64..1000, bd in 1i64..100,
+        cn in -1000i64..1000, cd in 1i64..100,
+    ) {
+        let a = Rational::ratio(an, ad);
+        let b = Rational::ratio(bn, bd);
+        let c = Rational::ratio(cn, cd);
+        prop_assert_eq!(a.clone() + b.clone(), b.clone() + a.clone());
+        prop_assert_eq!((a.clone() + b.clone()) + c.clone(), a.clone() + (b.clone() + c.clone()));
+        prop_assert_eq!(a.clone() * b.clone(), b.clone() * a.clone());
+        prop_assert_eq!(
+            a.clone() * (b.clone() + c.clone()),
+            a.clone() * b.clone() + a.clone() * c.clone()
+        );
+        prop_assert_eq!(a.clone() - a.clone(), Rational::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(a.clone() * a.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_normalized(an in -10000i64..10000, ad in 1i64..1000) {
+        let a = Rational::ratio(an, ad);
+        // lowest terms: gcd(num, den) == 1 (or num == 0 with den == 1)
+        let g = a.numer().gcd(a.denom());
+        if a.is_zero() {
+            prop_assert!(a.denom() == &BigInt::one());
+        } else {
+            prop_assert_eq!(g, BigInt::one());
+        }
+        prop_assert!(a.denom().is_positive());
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(an in -10000i64..10000, ad in 1i64..1000) {
+        let a = Rational::ratio(an, ad);
+        let fl = Rational::from_bigint(a.floor());
+        let ce = Rational::from_bigint(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(a.clone() - fl.clone() < Rational::one());
+        prop_assert!(ce - a.clone() < Rational::one());
+    }
+
+    #[test]
+    fn rational_rem_euclid_in_range(
+        an in -10000i64..10000, ad in 1i64..100,
+        mn in 1i64..1000, md in 1i64..100,
+    ) {
+        let a = Rational::ratio(an, ad);
+        let m = Rational::ratio(mn, md);
+        let r = a.rem_euclid(&m);
+        prop_assert!(r >= Rational::zero());
+        prop_assert!(r < m);
+        // a - r is an integer multiple of m
+        let k = (a - r) / m;
+        prop_assert!(k.is_integer());
+    }
+
+    #[test]
+    fn rational_order_antisymmetric(
+        an in -100i64..100, ad in 1i64..50,
+        bn in -100i64..100, bd in 1i64..50,
+    ) {
+        let a = Rational::ratio(an, ad);
+        let b = Rational::ratio(bn, bd);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // consistency with f64 when comparison is strict and far apart
+        if (a.to_f64() - b.to_f64()).abs() > 1e-9 {
+            prop_assert_eq!(a > b, a.to_f64() > b.to_f64());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Execution traces and aggregate statistics.
+
+use numeric::Q;
+
+/// What happened at a trace timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEventKind {
+    /// A job started (or resumed) on a machine.
+    Start,
+    /// A job stopped (completed its segment) on a machine.
+    Stop,
+}
+
+/// One event of the execution trace.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event time.
+    pub time: Q,
+    /// Kind of event.
+    pub kind: TraceEventKind,
+    /// Job involved.
+    pub job: usize,
+    /// Machine involved.
+    pub machine: usize,
+}
+
+/// Aggregate statistics of a simulated execution.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Chronological event trace.
+    pub trace: Vec<TraceEvent>,
+    /// Latest stop time.
+    pub makespan: Q,
+    /// Busy time per machine.
+    pub busy: Vec<Q>,
+    /// Total processing received per job.
+    pub received: Vec<Q>,
+    /// Number of on-machine job switches (a machine's running job
+    /// changes between two consecutive busy intervals).
+    pub context_switches: usize,
+    /// Job resumptions on a different machine (paper's migrations).
+    pub migrations: usize,
+    /// Job resumptions on the same machine after idling (preemptions).
+    pub preemptions: usize,
+}
+
+impl SimReport {
+    /// Utilization of machine `i` over `[0, horizon]` (reported as an
+    /// exact rational in `[0, 1]`).
+    pub fn utilization(&self, machine: usize, horizon: &Q) -> Q {
+        if horizon.is_positive() {
+            self.busy[machine].clone() / horizon.clone()
+        } else {
+            Q::zero()
+        }
+    }
+
+    /// Total disruption events (cross-check against
+    /// `Schedule::disruptions().total()`).
+    pub fn total_disruptions(&self) -> usize {
+        self.migrations + self.preemptions
+    }
+}

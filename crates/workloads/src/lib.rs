@@ -1,0 +1,23 @@
+//! Seeded instance generators for experiments and tests.
+//!
+//! * [`paper`] — the worked examples of the paper (Example II.1 /
+//!   Example III.1 and the Example V.1 gap family), verbatim;
+//! * [`random`] — random laminar instances: uniform unrelated times,
+//!   speed-heterogeneous machines, and the migration-overhead model on
+//!   SMP-CMP trees that realizes the architectures of the introduction;
+//! * [`memory`] — size/budget generators for the Section VI models.
+//!
+//! All generators take an explicit `StdRng` so every experiment in
+//! EXPERIMENTS.md is reproducible from its seed.
+
+pub mod memory;
+pub mod paper;
+pub mod random;
+
+pub use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// Convenience: a deterministic RNG from a `u64` seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,84 @@
+//! Generators for the Section VI memory models.
+
+use hsched_core::memory::{MemoryModel1, MemoryModel2};
+use hsched_core::Instance;
+use numeric::Q;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Wrap an instance into Model 1: sizes `s_ij ∈ [1, smax]` (machine-
+/// dependent — heterogeneous memory footprints), budgets sized so the
+/// total demand over budgets is roughly `pressure_pct`% per machine:
+/// `B_i ≈ (Σ_j s_ij / m) · 100 / pressure_pct`, floored at `smax` so
+/// single jobs always fit.
+pub fn model1_workload(
+    instance: Instance,
+    smax: u64,
+    pressure_pct: u64,
+    rng: &mut StdRng,
+) -> MemoryModel1 {
+    assert!(smax >= 1 && pressure_pct >= 1);
+    let n = instance.num_jobs();
+    let m = instance.num_machines();
+    let sizes: Vec<Vec<u64>> = (0..n)
+        .map(|_| (0..m).map(|_| rng.gen_range(1..=smax)).collect())
+        .collect();
+    let budgets: Vec<u64> = (0..m)
+        .map(|i| {
+            let total: u64 = sizes.iter().map(|row| row[i]).sum();
+            (total * 100 / (pressure_pct * m as u64)).max(smax)
+        })
+        .collect();
+    MemoryModel1 { instance, sizes, budgets }
+}
+
+/// Wrap an instance into Model 2: sizes `s_j` uniform in `{1/den, …,
+/// den/den}` and the given `µ`.
+pub fn model2_workload(instance: Instance, den: i64, mu: Q, rng: &mut StdRng) -> MemoryModel2 {
+    assert!(den >= 1);
+    let n = instance.num_jobs();
+    let sizes: Vec<Q> = (0..n).map(|_| Q::ratio(rng.gen_range(1..=den), den)).collect();
+    MemoryModel2 { instance, sizes, mu }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use laminar::topology;
+
+    #[test]
+    fn model1_budgets_fit_single_jobs() {
+        let inst =
+            Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
+        let m1 = model1_workload(inst, 4, 80, &mut rng(9));
+        for i in 0..3 {
+            assert!(m1.budgets[i] >= 4, "a single job always fits");
+            for row in &m1.sizes {
+                assert!(row[i] >= 1 && row[i] <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn model2_sizes_in_unit_interval() {
+        let inst =
+            Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
+        let m2 = model2_workload(inst, 4, Q::from_int(2), &mut rng(9));
+        for s in &m2.sizes {
+            assert!(s.is_positive() && *s <= Q::one());
+        }
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mk = |seed| {
+            let inst =
+                Instance::from_fn(topology::semi_partitioned(2), 5, |_, _| Some(3)).unwrap();
+            model1_workload(inst, 5, 70, &mut rng(seed))
+        };
+        let (a, b) = (mk(42), mk(42));
+        assert_eq!(a.sizes, b.sizes);
+        assert_eq!(a.budgets, b.budgets);
+    }
+}

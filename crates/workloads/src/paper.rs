@@ -1,0 +1,95 @@
+//! The paper's worked examples, verbatim.
+
+use hsched_core::Instance;
+use laminar::topology;
+
+/// Example II.1 / III.1: two machines, three jobs. Job 1 runs only on
+/// machine 0 (p = 1), job 2 only on machine 1 (p = 1), job 3 anywhere
+/// (p = 2). Semi-partitioned optimum 2; unrelated-machines optimum 3.
+///
+/// Set indices: 0 = global `M`, 1 = `{0}`, 2 = `{1}`.
+pub fn example_ii_1() -> Instance {
+    Instance::new(
+        topology::semi_partitioned(2),
+        vec![
+            vec![None, Some(1), None],
+            vec![None, None, Some(1)],
+            vec![Some(2), Some(2), Some(2)],
+        ],
+    )
+    .expect("paper example is a valid instance")
+}
+
+/// The unrelated-machines restriction of Example II.1 (no global set):
+/// its optimum is 3, witnessing the value of migration.
+pub fn example_ii_1_unrelated() -> Instance {
+    Instance::new(
+        topology::partitioned(2),
+        vec![
+            vec![Some(1), None],
+            vec![None, Some(1)],
+            vec![Some(2), Some(2)],
+        ],
+    )
+    .expect("valid")
+}
+
+/// Example V.1: `n ≥ 3` jobs, `m = n − 1` machines. Job `j < n−1` runs
+/// only on machine `j` with `p = n − 2`; job `n−1` runs anywhere with
+/// `p = n − 1`. Semi-partitioned optimum `n − 1`; unrelated optimum
+/// `2n − 3`. The ratio `(2n−3)/(n−1) → 2` realizes the paper's gap.
+pub fn example_v_1(n: usize) -> Instance {
+    assert!(n >= 3, "Example V.1 needs n ≥ 3");
+    let m = n - 1;
+    let fam = topology::semi_partitioned(m);
+    let sets: Vec<laminar::MachineSet> = fam.sets().to_vec();
+    Instance::from_fn(fam, n, move |j, a| {
+        let set = &sets[a];
+        if j < n - 1 {
+            (set.len() == 1 && set.contains(j)).then_some((n - 2) as u64)
+        } else {
+            Some((n - 1) as u64)
+        }
+    })
+    .expect("valid")
+}
+
+/// The unrelated restriction of Example V.1 (singletons only, the global
+/// job may run on any single machine).
+pub fn example_v_1_unrelated(n: usize) -> Instance {
+    assert!(n >= 3);
+    let m = n - 1;
+    Instance::from_fn(topology::partitioned(m), n, move |j, a| {
+        if j < n - 1 {
+            (a == j).then_some((n - 2) as u64)
+        } else {
+            Some((n - 1) as u64)
+        }
+    })
+    .expect("valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsched_core::exact::{solve_exact, ExactOptions};
+
+    #[test]
+    fn example_ii_1_optima() {
+        let semi = solve_exact(&example_ii_1(), &ExactOptions::default()).unwrap();
+        assert_eq!(semi.t, 2);
+        let unrel = solve_exact(&example_ii_1_unrelated(), &ExactOptions::default()).unwrap();
+        assert_eq!(unrel.t, 3);
+    }
+
+    #[test]
+    fn example_v_1_gap_values() {
+        for n in [3usize, 4, 6] {
+            let hier = solve_exact(&example_v_1(n), &ExactOptions::default()).unwrap();
+            assert_eq!(hier.t as usize, n - 1, "n = {n}");
+            let unrel =
+                solve_exact(&example_v_1_unrelated(n), &ExactOptions::default()).unwrap();
+            assert_eq!(unrel.t as usize, 2 * n - 3, "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Random laminar instances.
+//!
+//! Monotonicity (`α ⊆ β ⇒ P_j(α) ≤ P_j(β)`) is built into every
+//! generator: per-set processing times grow with set cardinality (the
+//! migration-overhead interpretation from the paper's introduction —
+//! bigger affinity masks mean costlier migrations / worse cache reuse).
+
+use hsched_core::Instance;
+use laminar::{topology, LaminarFamily};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Migration-overhead model on an arbitrary laminar family: job `j` has a
+/// base demand `base_j ∈ [lo, hi]`, and running with affinity mask `α`
+/// costs `⌈base_j · (1 + ovh_num/ovh_den · (|α| − 1)/m)⌉` — monotone in
+/// `|α|`, hence in set inclusion.
+pub fn overhead_instance(
+    family: LaminarFamily,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    ovh_num: u64,
+    ovh_den: u64,
+    rng: &mut StdRng,
+) -> Instance {
+    assert!(lo >= 1 && hi >= lo && ovh_den > 0);
+    let m = family.num_machines() as u64;
+    let sizes: Vec<u64> = family.sets().iter().map(|s| s.len() as u64).collect();
+    let bases: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    Instance::from_fn(family, n, move |j, a| {
+        let base = bases[j];
+        let extra = base * ovh_num * (sizes[a] - 1);
+        Some(base + extra.div_ceil(ovh_den * m))
+    })
+    .expect("overhead model is monotone")
+}
+
+/// Heterogeneous machines: machine `i` has speed `speed_i ∈ [1, smax]`;
+/// a singleton costs `⌈work_j / speed_i⌉` and a larger set costs the max
+/// over its machines (the slowest member bounds the set), which is
+/// monotone under inclusion.
+pub fn heterogeneous_instance(
+    family: LaminarFamily,
+    n: usize,
+    work_lo: u64,
+    work_hi: u64,
+    smax: u64,
+    rng: &mut StdRng,
+) -> Instance {
+    assert!(work_lo >= 1 && work_hi >= work_lo && smax >= 1);
+    let m = family.num_machines();
+    let speeds: Vec<u64> = (0..m).map(|_| rng.gen_range(1..=smax)).collect();
+    let works: Vec<u64> = (0..n).map(|_| rng.gen_range(work_lo..=work_hi)).collect();
+    let sets: Vec<laminar::MachineSet> = family.sets().to_vec();
+    Instance::from_fn(family, n, move |j, a| {
+        sets[a]
+            .iter()
+            .map(|i| works[j].div_ceil(speeds[i]))
+            .max()
+    })
+    .expect("max over members is monotone")
+}
+
+/// Restricted-affinity variant: like [`overhead_instance`] but each job
+/// is *local-only* with probability `local_pct`% — its global/cluster
+/// entries become ∞ while leaf times stay finite (monotonicity permits
+/// ∞ on supersets). Jobs keep at least their cheapest singleton.
+pub fn restricted_instance(
+    family: LaminarFamily,
+    n: usize,
+    lo: u64,
+    hi: u64,
+    local_pct: u32,
+    rng: &mut StdRng,
+) -> Instance {
+    assert!(local_pct <= 100);
+    let sizes: Vec<u64> = family.sets().iter().map(|s| s.len() as u64).collect();
+    let bases: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
+    let local_only: Vec<bool> = (0..n).map(|_| rng.gen_range(0..100) < local_pct).collect();
+    Instance::from_fn(family, n, move |j, a| {
+        if local_only[j] && sizes[a] > 1 {
+            None
+        } else {
+            Some(bases[j] + sizes[a] - 1)
+        }
+    })
+    .expect("∞ on supersets preserves monotonicity")
+}
+
+/// A semi-partitioned instance with uniform times (the workhorse for the
+/// migration-bound experiment E4).
+pub fn semi_uniform(m: usize, n: usize, lo: u64, hi: u64, rng: &mut StdRng) -> Instance {
+    overhead_instance(topology::semi_partitioned(m), n, lo, hi, 1, 4, rng)
+}
+
+/// Random SMP-CMP instance: `branching` defines the tree, overhead per
+/// level is `ovh_pct`% of the base per extra machine in the mask.
+pub fn smp_cmp_instance(
+    branching: &[usize],
+    n: usize,
+    lo: u64,
+    hi: u64,
+    ovh_pct: u64,
+    rng: &mut StdRng,
+) -> Instance {
+    overhead_instance(topology::smp_cmp(branching), n, lo, hi, ovh_pct, 100, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+
+    fn assert_monotone(inst: &Instance) {
+        let fam = inst.family();
+        for j in 0..inst.num_jobs() {
+            for a in 0..fam.len() {
+                if let Some(p) = fam.parent(a) {
+                    match (inst.ptime(j, a), inst.ptime(j, p)) {
+                        (Some(x), Some(y)) => assert!(x <= y),
+                        (None, Some(_)) => panic!("∞ below finite"),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_is_monotone_and_seeded() {
+        let a = overhead_instance(topology::clustered(2, 2), 6, 1, 9, 1, 2, &mut rng(7));
+        let b = overhead_instance(topology::clustered(2, 2), 6, 1, 9, 1, 2, &mut rng(7));
+        assert_monotone(&a);
+        for j in 0..6 {
+            for s in 0..a.family().len() {
+                assert_eq!(a.ptime(j, s), b.ptime(j, s), "same seed, same instance");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_is_monotone() {
+        let inst =
+            heterogeneous_instance(topology::smp_cmp(&[2, 2]), 8, 2, 20, 4, &mut rng(3));
+        assert_monotone(&inst);
+    }
+
+    #[test]
+    fn restricted_keeps_singletons_finite() {
+        let inst = restricted_instance(topology::semi_partitioned(3), 10, 1, 5, 60, &mut rng(5));
+        assert_monotone(&inst);
+        for j in 0..10 {
+            let has_single = (0..inst.family().len())
+                .any(|a| inst.set(a).len() == 1 && inst.ptime(j, a).is_some());
+            assert!(has_single);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = semi_uniform(3, 8, 1, 50, &mut rng(1));
+        let b = semi_uniform(3, 8, 1, 50, &mut rng(2));
+        let same = (0..8).all(|j| a.ptime(j, 1) == b.ptime(j, 1));
+        assert!(!same, "distinct seeds should (overwhelmingly) differ");
+    }
+
+    #[test]
+    fn smp_cmp_shape() {
+        let inst = smp_cmp_instance(&[2, 2], 5, 1, 10, 25, &mut rng(11));
+        assert_eq!(inst.num_machines(), 4);
+        assert_monotone(&inst);
+    }
+}

@@ -1,0 +1,74 @@
+//! Memory-constrained scheduling (Section VI of the paper).
+//!
+//! Model 1: per-machine memory budgets; the iterative rounding of
+//! Theorem VI.1 guarantees makespan ≤ 3T and memory ≤ 3·B_i.
+//! Model 2: per-level capacities µ^h; Theorem VI.3 guarantees the σ =
+//! 2 + H_k (or 3 + 1/m for two levels) bicriteria bound.
+//!
+//! Run with: `cargo run --release --example memory_constrained`
+
+use hier_sched::core::memory::{
+    model1_lp_t_star, model1_round, model2_lp_t_star, model2_round,
+};
+use hier_sched::laminar::topology;
+use hier_sched::numeric::Q;
+use hier_sched::workloads::{memory, random, rng};
+
+fn main() {
+    // ----- Model 1: machine budgets -------------------------------------
+    let mut r = rng(42);
+    let inst = random::semi_uniform(3, 9, 2, 8, &mut r);
+    let m1 = memory::model1_workload(inst, 5, 75, &mut r);
+    println!("Model 1: {} jobs, budgets = {:?}", m1.instance.num_jobs(), m1.budgets);
+
+    let t = model1_lp_t_star(&m1).expect("LP feasible");
+    let res = model1_round(&m1, t).expect("roundable");
+    println!("  LP horizon T = {t}");
+    println!(
+        "  rounded: makespan = {} (bound 3T = {}), rows dropped = {}",
+        res.makespan,
+        3 * t,
+        res.rows_dropped
+    );
+    for (i, used) in res.memory_usage.iter().enumerate() {
+        println!(
+            "  machine {i}: memory {used} / budget {} (bound 3B = {})",
+            m1.budgets[i],
+            3 * m1.budgets[i]
+        );
+        assert!(*used <= 3 * m1.budgets[i]);
+    }
+    assert!(res.makespan <= Q::from(3 * t));
+
+    // ----- Model 2: per-level capacities µ^h ----------------------------
+    let mut r = rng(43);
+    let fam = topology::clustered(2, 2);
+    let inst2 = random::overhead_instance(fam, 8, 2, 6, 1, 3, &mut r);
+    let m2 = memory::model2_workload(inst2, 4, Q::from_int(2), &mut r);
+    let k = m2.instance.family().max_level();
+    println!("\nModel 2: {} levels, µ = {}, σ = {}", k, m2.mu, m2.sigma());
+
+    let t2 = model2_lp_t_star(&m2).expect("LP feasible");
+    let res2 = model2_round(&m2, t2).expect("roundable");
+    println!("  LP horizon T = {t2}");
+    println!(
+        "  rounded: makespan = {} (bound σT = {})",
+        res2.makespan,
+        m2.sigma() * Q::from(t2)
+    );
+    assert!(res2.makespan <= m2.sigma() * Q::from(t2));
+    for a in 0..m2.instance.family().len() {
+        if let Some(cap) = m2.capacity(a) {
+            println!(
+                "  set {} (height {}): memory {} / capacity {} (bound σµ^h = {})",
+                m2.instance.set(a),
+                m2.instance.family().height(a),
+                res2.memory_usage[a],
+                cap,
+                m2.sigma() * cap.clone()
+            );
+            assert!(res2.memory_usage[a] <= m2.sigma() * cap);
+        }
+    }
+    println!("\nall bicriteria bounds hold.");
+}

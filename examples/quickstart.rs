@@ -1,0 +1,77 @@
+//! Quickstart: model a small hierarchical machine, solve it exactly,
+//! approximate it, and inspect the schedule.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hier_sched::core::approx::two_approx;
+use hier_sched::core::exact::{solve_exact, ExactOptions};
+use hier_sched::core::gantt;
+use hier_sched::core::hier::schedule_hierarchical;
+use hier_sched::core::{Assignment, Instance};
+use hier_sched::laminar::topology;
+use hier_sched::numeric::Q;
+use hier_sched::simulator::simulate;
+
+fn main() {
+    // --- 1. Describe the machine: 4 cores in 2 chips (clusters). --------
+    // The admissible family A is laminar: global M, two clusters, and the
+    // four singletons. Processing times grow with the affinity mask — the
+    // migration-overhead model of the paper's introduction.
+    let family = topology::clustered(2, 2);
+    println!("admissible sets:");
+    for (a, set) in family.sets().iter().enumerate() {
+        println!("  #{a}: {set} (level {})", family.level(a));
+    }
+
+    // Jobs: base work 2..=5; running across a bigger mask costs +1 per
+    // doubling of the mask (monotone, as the model requires).
+    let sizes: Vec<u64> = family.sets().iter().map(|s| s.len() as u64).collect();
+    let instance = Instance::from_fn(family, 7, |j, a| {
+        let base = 2 + (j as u64 % 4);
+        Some(base + sizes[a].ilog2() as u64)
+    })
+    .expect("monotone instance");
+
+    // --- 2. Solve exactly (small instance → branch & bound). ------------
+    let exact = solve_exact(&instance, &ExactOptions::default()).expect("solvable");
+    println!("\nexact optimal makespan: {}", exact.t);
+    for (j, a) in exact.assignment.iter() {
+        println!("  job {j} → set {} ({})", a, instance.set(a));
+    }
+
+    // --- 3. The paper's 2-approximation (Theorem V.2). ------------------
+    let approx = two_approx(&instance);
+    println!(
+        "\n2-approximation: T* = {} (LP bound ≤ OPT), achieved makespan = {}",
+        approx.t_star, approx.makespan
+    );
+    assert!(approx.makespan <= Q::from(2 * approx.t_star));
+
+    // --- 4. Schedules are explicit and exactly validated. ---------------
+    let t = Q::from(exact.t);
+    let schedule = schedule_hierarchical(&instance, &exact.assignment, &t).expect("feasible");
+    schedule.validate(&instance, &exact.assignment, &t).expect("valid by Theorem IV.3");
+    println!("\nschedule at T = {} ({} segments):", exact.t, schedule.segments.len());
+    let mut segs = schedule.segments.clone();
+    segs.sort_by_key(|x| (x.machine, x.start.clone()));
+    for s in &segs {
+        println!("  machine {}: job {} during [{}, {})", s.machine, s.job, s.start, s.end);
+    }
+
+    println!("\n{}", gantt::render(&schedule, instance.num_machines(), &t, 48));
+
+    // --- 5. Replay on the discrete-event simulator. ----------------------
+    let report = simulate(&schedule, instance.num_machines()).expect("simulates cleanly");
+    println!(
+        "\nsimulated: makespan {}, {} migrations, {} preemptions, {} context switches",
+        report.makespan, report.migrations, report.preemptions, report.context_switches
+    );
+    for i in 0..instance.num_machines() {
+        println!("  machine {i} utilization: {}", report.utilization(i, &t));
+    }
+
+    // --- 6. Hand-built assignments are first-class too. ------------------
+    let manual = Assignment::new(vec![0; instance.num_jobs()]); // all global
+    let t_manual = manual.minimal_integral_horizon(&instance).expect("finite");
+    println!("\nall-global assignment needs T = {t_manual} (vs optimal {})", exact.t);
+}

@@ -1,0 +1,28 @@
+//! # hier-sched
+//!
+//! A reproduction of *"Algorithms for hierarchical and semi-partitioned
+//! parallel scheduling"* (Bonifaci, D'Angelo, Marchetti-Spaccamela,
+//! IPDPS 2017) as a Rust workspace. This facade crate re-exports every
+//! subsystem:
+//!
+//! * [`core`] (`hsched-core`) — the paper's model and algorithms:
+//!   instances, wrap-around schedulers (Algorithms 1–3), ILP/LP
+//!   formulations, Lemma V.1 push-down, LST rounding, the Theorem V.2
+//!   2-approximation, the Section II 8-approximation, and the Section VI
+//!   memory models;
+//! * [`laminar`] — machine sets, laminar families, topologies;
+//! * [`lp`] — exact rational simplex + branch-and-bound;
+//! * [`numeric`] — arbitrary-precision integers and rationals;
+//! * [`baselines`] — McNaughton, partitioned, semi-partitioned and
+//!   greedy baselines;
+//! * [`workloads`] — seeded generators (paper examples included);
+//! * [`simulator`] — discrete-event schedule execution.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+pub use baselines;
+pub use hsched_core as core;
+pub use laminar;
+pub use lp;
+pub use numeric;
+pub use simulator;
+pub use workloads;

@@ -1,0 +1,192 @@
+//! Property-based tests of the paper's theorems on randomized instances.
+//!
+//! Each property is one of the paper's claims quantified over a strategy
+//! of random instances/assignments:
+//!
+//! * Theorem III.1 / IV.3 — feasible `(x, T)` ⇒ the schedulers emit valid
+//!   schedules (checked by the exact validator *and* the simulator);
+//! * Proposition III.2 — disruption bounds;
+//! * Lemma IV.1 — load tables cover all volume and stay ≤ T;
+//! * Lemma IV.2 — at most one shared machine per set;
+//! * Lemma V.1 — push-down preserves feasibility, empties non-singletons;
+//! * Theorem V.2 — `makespan ≤ 2·T* ≤ 2·OPT`-side conditions.
+
+use hier_sched::core::hier::{allocate_loads, schedule_hierarchical, shared_machines};
+use hier_sched::core::approx::two_approx;
+use hier_sched::core::formulations::build_ip3;
+use hier_sched::core::pushdown::{
+    is_fractionally_feasible, push_down_all, supported_on_singletons,
+};
+use hier_sched::core::semi::schedule_semi_partitioned;
+use hier_sched::core::{Assignment, Instance};
+use hier_sched::laminar::topology;
+use hier_sched::lp::LpStatus;
+use hier_sched::numeric::Q;
+use hier_sched::simulator::simulate;
+use proptest::prelude::*;
+
+/// Strategy: a random semi-partitioned instance + feasible assignment.
+fn semi_instance_and_assignment(
+) -> impl Strategy<Value = (Instance, Assignment)> {
+    (2usize..5, 1usize..9, proptest::collection::vec(1u64..9, 1..10)).prop_map(
+        |(m, pick, bases)| {
+            let n = bases.len();
+            let fam = topology::semi_partitioned(m);
+            let inst = Instance::from_fn(fam, n, |j, a| {
+                // Global costs one extra unit (monotone).
+                let extra = if a == 0 { 1 } else { 0 };
+                Some(bases[j] + extra)
+            })
+            .expect("monotone");
+            // Random-ish mask: job j local to machine (j*pick mod m) or global.
+            let singles = inst.singleton_index();
+            let mask: Vec<usize> = (0..n)
+                .map(|j| {
+                    if (j * pick) % 3 == 0 {
+                        0 // global set index in semi_partitioned topology
+                    } else {
+                        singles[(j * pick) % m].expect("singletons present")
+                    }
+                })
+                .collect();
+            let asg = Assignment::new(mask);
+            (inst, asg)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorems III.1 & IV.3: at the assignment's minimal feasible
+    /// horizon, both schedulers produce valid schedules; simulator agrees.
+    #[test]
+    fn schedulers_always_valid((inst, asg) in semi_instance_and_assignment()) {
+        let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
+        let s1 = schedule_semi_partitioned(&inst, &asg, &t).expect("Thm III.1");
+        let s2 = schedule_hierarchical(&inst, &asg, &t).expect("Thm IV.3");
+        prop_assert!(s1.validate(&inst, &asg, &t).is_ok());
+        prop_assert!(s2.validate(&inst, &asg, &t).is_ok());
+        let r1 = simulate(&s1, inst.num_machines()).expect("replays");
+        let r2 = simulate(&s2, inst.num_machines()).expect("replays");
+        for j in 0..inst.num_jobs() {
+            prop_assert_eq!(r1.received[j].clone(), r2.received[j].clone());
+        }
+    }
+
+    /// Proposition III.2 on random feasible pairs.
+    #[test]
+    fn disruption_bounds((inst, asg) in semi_instance_and_assignment()) {
+        let m = inst.num_machines();
+        let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
+        let sched = schedule_semi_partitioned(&inst, &asg, &t).expect("feasible");
+        // Paper convention: one migration per extra machine a job uses.
+        prop_assert!(sched.split_migrations() < m,
+            "split migrations {} > m-1", sched.split_migrations());
+        // Combined bound holds even for wall-clock resumption counting.
+        let d = sched.disruptions();
+        prop_assert!(d.total() <= 2 * m - 2, "events {} > 2m-2", d.total());
+    }
+
+    /// Lemma IV.1: the load table places all volume with TOT-LOAD ≤ T;
+    /// Lemma IV.2: at most one shared machine per set.
+    #[test]
+    fn load_table_lemmas((inst, asg) in semi_instance_and_assignment()) {
+        let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
+        let loads = allocate_loads(&inst, &asg, &t).expect("feasible");
+        for a in 0..inst.family().len() {
+            let placed = Q::sum(loads.load[a].iter());
+            prop_assert_eq!(placed, asg.volume_on(&inst, a));
+            for i in 0..inst.num_machines() {
+                prop_assert!(loads.tot_load[a][i] <= t);
+            }
+            prop_assert!(shared_machines(&inst, &loads, a).len() <= 1);
+        }
+    }
+
+    /// Lemma V.1 on LP solutions of (IP-3): feasibility preserved, all
+    /// weight on singletons afterwards.
+    #[test]
+    fn pushdown_lemma(
+        m in 2usize..5,
+        n in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let fam = topology::semi_partitioned(m);
+        let inst = Instance::from_fn(fam, n, |j, a| {
+            let extra = if a == 0 { 1 } else { 0 };
+            Some(1 + ((j as u64 * 7 + seed) % 6) + extra)
+        }).expect("monotone");
+        // Find the minimal feasible integral T and push down there.
+        let mut t = inst.bottleneck_lower_bound().max(inst.volume_lower_bound()).max(1);
+        let (vm, mut x, tq) = loop {
+            if let Some((lp, vm)) = build_ip3(&inst, t) {
+                let sol = lp.solve();
+                if sol.status == LpStatus::Optimal {
+                    break (vm, sol.values, Q::from(t));
+                }
+            }
+            t += 1;
+        };
+        prop_assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
+        push_down_all(&inst, &vm, &mut x, &tq).expect("Lemma V.1");
+        prop_assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
+        prop_assert!(supported_on_singletons(&inst, &vm, &x));
+    }
+
+    /// Theorem V.2 side conditions on random instances: singleton masks,
+    /// valid schedule, makespan ≤ 2·T*.
+    #[test]
+    fn two_approx_guarantees(
+        m in 2usize..5,
+        n in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let fam = topology::semi_partitioned(m);
+        let inst = Instance::from_fn(fam, n, |j, a| {
+            let extra = if a == 0 { 2 } else { 0 };
+            Some(1 + ((j as u64 * 13 + seed * 5) % 9) + extra)
+        }).expect("monotone");
+        let res = two_approx(&inst);
+        prop_assert!(!res.fallback_used);
+        prop_assert!(res.makespan <= Q::from(2 * res.t_star));
+        for (_, a) in res.assignment.iter() {
+            prop_assert_eq!(res.instance.set(a).len(), 1, "LST output is partitioned");
+        }
+        prop_assert!(res
+            .schedule
+            .validate(&res.instance, &res.assignment, &res.makespan)
+            .is_ok());
+    }
+
+    /// The validator and the simulator accept exactly the same schedules
+    /// (on schedules produced by the algorithms, both say yes; on a
+    /// corrupted schedule, both say no).
+    #[test]
+    fn validator_simulator_agree_on_corruption(
+        (inst, asg) in semi_instance_and_assignment(),
+        victim in 0usize..64,
+    ) {
+        let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
+        let mut sched = schedule_hierarchical(&inst, &asg, &t).expect("feasible");
+        if sched.segments.is_empty() {
+            return Ok(());
+        }
+        // Corrupt one segment: shift it to overlap its machine-neighbour.
+        let k = victim % sched.segments.len();
+        let machine = sched.segments[k].machine;
+        // Stretch the segment by the full horizon — guaranteed to either
+        // leave [0,T] or collide with something or break the amount.
+        sched.segments[k].end = sched.segments[k].end.clone() + t.clone();
+        let valid = sched.validate(&inst, &asg, &t).is_ok();
+        prop_assert!(!valid, "corrupted schedule must not validate");
+        // The simulator catches conflicts / the validator catches amounts —
+        // at minimum the combined pipeline rejects.
+        let sim_ok = simulate(&sched, inst.num_machines()).is_ok();
+        let amounts_ok = (0..inst.num_jobs()).all(|j| {
+            inst.ptime_q(j, asg.mask_of(j)) == Some(sched.job_total(j))
+        });
+        prop_assert!(!(sim_ok && amounts_ok), "simulator+amounts must also reject");
+        let _ = machine;
+    }
+}
