@@ -34,11 +34,7 @@ struct Tracker<'a> {
 
 impl<'a> Tracker<'a> {
     fn new(instance: &'a Instance) -> Self {
-        Tracker {
-            instance,
-            volume: vec![Q::zero(); instance.family().len()],
-            max_p: 0,
-        }
+        Tracker { instance, volume: vec![Q::zero(); instance.family().len()], max_p: 0 }
     }
 
     /// Horizon = max over sets α of ⌈(Σ_{β⊆α} vol β)/|α|⌉ and max p.
@@ -84,9 +80,7 @@ pub fn greedy_hierarchical(instance: &Instance) -> GreedyResult {
         tracker.commit(j, best_a);
     }
     let assignment = Assignment::new(mask);
-    let t = assignment
-        .minimal_integral_horizon(instance)
-        .expect("greedy picks finite pairs");
+    let t = assignment.minimal_integral_horizon(instance).expect("greedy picks finite pairs");
     let t_q = Q::from(t);
     let schedule = schedule_hierarchical(instance, &assignment, &t_q)
         .expect("feasible at its minimal horizon");
@@ -110,9 +104,7 @@ mod tests {
         )
         .unwrap();
         let res = greedy_hierarchical(&inst);
-        res.schedule
-            .validate(&inst, &res.assignment, &Q::from(res.t))
-            .unwrap();
+        res.schedule.validate(&inst, &res.assignment, &Q::from(res.t)).unwrap();
         assert!(res.t <= 3, "greedy should find 2 or 3 here");
     }
 
@@ -127,12 +119,9 @@ mod tests {
     fn greedy_on_clustered_topology() {
         let fam = topology::clustered(2, 3);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
-        let inst =
-            Instance::from_fn(fam, 9, |j, a| Some(2 + j as u64 % 3 + sizes[a] / 3)).unwrap();
+        let inst = Instance::from_fn(fam, 9, |j, a| Some(2 + j as u64 % 3 + sizes[a] / 3)).unwrap();
         let res = greedy_hierarchical(&inst);
-        res.schedule
-            .validate(&inst, &res.assignment, &Q::from(res.t))
-            .unwrap();
+        res.schedule.validate(&inst, &res.assignment, &Q::from(res.t)).unwrap();
         // Sanity: horizon at least the volume bound.
         assert!(res.t >= inst.volume_lower_bound());
     }
@@ -140,11 +129,8 @@ mod tests {
     #[test]
     fn greedy_respects_infeasible_sets() {
         // Job 0 can only run on machine 1's singleton.
-        let inst = Instance::new(
-            topology::semi_partitioned(2),
-            vec![vec![None, None, Some(5)]],
-        )
-        .unwrap();
+        let inst =
+            Instance::new(topology::semi_partitioned(2), vec![vec![None, None, Some(5)]]).unwrap();
         let res = greedy_hierarchical(&inst);
         assert_eq!(res.assignment.mask_of(0), 2);
         assert_eq!(res.t, 5);

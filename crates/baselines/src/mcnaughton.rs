@@ -23,8 +23,7 @@ pub struct McNaughtonResult {
 pub fn mcnaughton(p: &[u64], m: usize) -> McNaughtonResult {
     assert!(m > 0, "need at least one machine");
     let total: u64 = p.iter().sum();
-    let t = Q::from(p.iter().copied().max().unwrap_or(0))
-        .max(Q::from(total) / Q::from(m as u64));
+    let t = Q::from(p.iter().copied().max().unwrap_or(0)).max(Q::from(total) / Q::from(m as u64));
     let mut segments = Vec::new();
     if t.is_positive() {
         let mut machine = 0usize;
@@ -63,10 +62,8 @@ mod tests {
     }
 
     fn validate(p: &[u64], m: usize, res: &McNaughtonResult) {
-        let inst = hsched_core::Instance::from_fn(topology::global(m), p.len(), |j, _| {
-            Some(p[j])
-        })
-        .unwrap();
+        let inst = hsched_core::Instance::from_fn(topology::global(m), p.len(), |j, _| Some(p[j]))
+            .unwrap();
         let asg = Assignment::new(vec![0; p.len()]);
         res.schedule.validate(&inst, &asg, &res.t).unwrap();
     }

@@ -45,10 +45,7 @@ pub fn lpt_greedy(p: &[Vec<Option<u64>>], m: usize) -> Option<PartitionedResult>
         machine_of[j] = i;
         load[i] += p[j][i].expect("admissible");
     }
-    Some(PartitionedResult {
-        makespan: load.into_iter().max().unwrap_or(0),
-        machine_of,
-    })
+    Some(PartitionedResult { makespan: load.into_iter().max().unwrap_or(0), machine_of })
 }
 
 /// The LST 2-approximation for `R||Cmax` (binary search + LP rounding).
@@ -56,11 +53,8 @@ pub fn lst_partitioned(p: &[Vec<Option<u64>>], m: usize) -> Option<PartitionedRe
     if p.is_empty() {
         return Some(PartitionedResult { machine_of: Vec::new(), makespan: 0 });
     }
-    let hi: u64 = p
-        .iter()
-        .map(|row| row.iter().flatten().min().copied().unwrap_or(0))
-        .sum::<u64>()
-        .max(1);
+    let hi: u64 =
+        p.iter().map(|row| row.iter().flatten().min().copied().unwrap_or(0)).sum::<u64>().max(1);
     let (_, rounding) = lst_binary_search(p, m, 1, hi)?;
     let machine_of = rounding.machine_of;
     let makespan = loads(p, m, &machine_of).into_iter().max().unwrap_or(0);
@@ -109,13 +103,7 @@ mod tests {
     fn lst_beats_or_ties_lpt_on_adversarial_unrelated() {
         // Heterogeneous: machine 0 fast for even jobs, machine 1 for odd.
         let p: Vec<Vec<Option<u64>>> = (0..6)
-            .map(|j| {
-                if j % 2 == 0 {
-                    vec![Some(1), Some(10)]
-                } else {
-                    vec![Some(10), Some(1)]
-                }
-            })
+            .map(|j| if j % 2 == 0 { vec![Some(1), Some(10)] } else { vec![Some(10), Some(1)] })
             .collect();
         let lst = lst_partitioned(&p, 2).unwrap();
         assert!(lst.makespan <= 6, "good split exists with makespan 3");

@@ -48,9 +48,7 @@ fn try_at(instance: &Instance, t: u64) -> Option<Assignment> {
     for &j in &order {
         // First fit: smallest-index machine whose load stays ≤ t.
         let slot = (0..m).find(|&i| {
-            singles[i]
-                .and_then(|a| instance.ptime(j, a))
-                .is_some_and(|p| local_load[i] + p <= t)
+            singles[i].and_then(|a| instance.ptime(j, a)).is_some_and(|p| local_load[i] + p <= t)
         });
         match slot {
             Some(i) => {
@@ -87,10 +85,7 @@ pub fn semi_first_fit(instance: &Instance) -> Option<SemiHeuristicResult> {
             schedule: Schedule::default(),
         });
     }
-    let lo = instance
-        .bottleneck_lower_bound()
-        .max(instance.volume_lower_bound())
-        .max(1);
+    let lo = instance.bottleneck_lower_bound().max(instance.volume_lower_bound()).max(1);
     let mut hi = instance.sequential_upper_bound().max(lo);
     let mut guard = 0;
     while try_at(instance, hi).is_none() {
@@ -143,15 +138,12 @@ mod tests {
         // and ends at 3 — a classic heuristic loss the E5 experiment
         // quantifies against the LP-based 2-approximation.
         assert!(res.t >= 2 && res.t <= 3, "got {}", res.t);
-        res.schedule
-            .validate(&inst, &res.assignment, &Q::from(res.t))
-            .unwrap();
+        res.schedule.validate(&inst, &res.assignment, &Q::from(res.t)).unwrap();
     }
 
     #[test]
     fn pure_local_packing() {
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(3), 6, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(3), 6, |_, _| Some(2)).unwrap();
         let res = semi_first_fit(&inst).unwrap();
         assert_eq!(res.t, 4, "6 jobs of 2 on 3 machines pack at 4");
         assert_eq!(res.schedule.disruptions().total(), 0);
@@ -162,13 +154,10 @@ mod tests {
         // 3 jobs of 2 on 2 machines: locals fill T=3 only as 2+2 > 3 …
         // first-fit at t=3: m0 gets one job (2), can't fit second (4>3),
         // m1 gets one, third goes global (volume 2, 4+2 = 6 = 2·3 ✓).
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(2), 3, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 3, |_, _| Some(2)).unwrap();
         let res = semi_first_fit(&inst).unwrap();
         assert_eq!(res.t, 3);
-        res.schedule
-            .validate(&inst, &res.assignment, &Q::from(res.t))
-            .unwrap();
+        res.schedule.validate(&inst, &res.assignment, &Q::from(res.t)).unwrap();
     }
 
     #[test]

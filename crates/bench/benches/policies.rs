@@ -19,9 +19,7 @@ fn bench_policies(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("policies");
     g.sample_size(10);
-    g.bench_function("partitioned_lpt", |b| {
-        b.iter(|| std::hint::black_box(lpt_greedy(&p, m)))
-    });
+    g.bench_function("partitioned_lpt", |b| b.iter(|| std::hint::black_box(lpt_greedy(&p, m))));
     g.bench_function("partitioned_lst", |b| {
         b.iter(|| std::hint::black_box(lst_partitioned(&p, m)))
     });
@@ -31,9 +29,7 @@ fn bench_policies(c: &mut Criterion) {
     g.bench_function("greedy_hierarchical", |b| {
         b.iter(|| std::hint::black_box(greedy_hierarchical(&inst)))
     });
-    g.bench_function("two_approx", |b| {
-        b.iter(|| std::hint::black_box(two_approx(&inst)))
-    });
+    g.bench_function("two_approx", |b| b.iter(|| std::hint::black_box(two_approx(&inst))));
     g.finish();
 }
 

@@ -12,9 +12,7 @@ fn bench_pushdown(c: &mut Criterion) {
     for n in [6usize, 10] {
         let inst = fixtures::e3_instance(topology::clustered(2, 2), n, 11);
         g.bench_with_input(BenchmarkId::new("direct", n), &inst, |b, inst| {
-            b.iter(|| {
-                std::hint::black_box(two_approx_with(inst, TwoApproxMethod::DirectSingleton))
-            })
+            b.iter(|| std::hint::black_box(two_approx_with(inst, TwoApproxMethod::DirectSingleton)))
         });
         g.bench_with_input(BenchmarkId::new("pushdown", n), &inst, |b, inst| {
             b.iter(|| std::hint::black_box(two_approx_with(inst, TwoApproxMethod::PushDown)))

@@ -15,9 +15,7 @@ fn bench_schedulers(c: &mut Criterion) {
     g.sample_size(20);
     for m in [4usize, 8, 16] {
         let inst = fixtures::e4_instance(m, 4 * m, 5);
-        let root = (0..inst.family().len())
-            .find(|&a| inst.set(a).len() == m)
-            .expect("semi family");
+        let root = (0..inst.family().len()).find(|&a| inst.set(a).len() == m).expect("semi family");
         // Half local (round-robin), half global.
         let singles = inst.singleton_index();
         let mask: Vec<usize> = (0..inst.num_jobs())
@@ -28,9 +26,7 @@ fn bench_schedulers(c: &mut Criterion) {
 
         g.bench_with_input(BenchmarkId::new("algorithm1", m), &(), |b, _| {
             b.iter(|| {
-                std::hint::black_box(
-                    schedule_semi_partitioned(&inst, &asg, &t).expect("feasible"),
-                )
+                std::hint::black_box(schedule_semi_partitioned(&inst, &asg, &t).expect("feasible"))
             })
         });
         g.bench_with_input(BenchmarkId::new("algorithms2_3", m), &(), |b, _| {

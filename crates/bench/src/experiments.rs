@@ -8,8 +8,7 @@ use baselines::mcnaughton::mcnaughton;
 use baselines::partitioned::{lpt_greedy, lst_partitioned};
 use baselines::semi::semi_first_fit;
 use hsched_core::approx::{
-    eight_approx, singleton_times, two_approx, two_approx_with, GeneralInstance,
-    TwoApproxMethod,
+    eight_approx, singleton_times, two_approx, two_approx_with, GeneralInstance, TwoApproxMethod,
 };
 use hsched_core::exact::{solve_exact, ExactOptions};
 use hsched_core::memory::{model1_lp_t_star, model1_round, model2_lp_t_star, model2_round};
@@ -114,7 +113,13 @@ pub fn e4(seeds: u64) -> String {
         "E4  Proposition III.2: disruption bounds of Algorithm 1 (≤ m−1 / ≤ 2m−2)\n\n",
     );
     let mut t = Table::new(&[
-        "m", "max splits", "bound m-1", "max wall migr", "max events", "bound 2m-2", "runs",
+        "m",
+        "max splits",
+        "bound m-1",
+        "max wall migr",
+        "max events",
+        "bound 2m-2",
+        "runs",
     ]);
     for m in [2usize, 4, 8, 12] {
         let mut max_split = 0usize;
@@ -124,9 +129,8 @@ pub fn e4(seeds: u64) -> String {
         for seed in 0..seeds {
             let inst = fixtures::e4_instance(m, 3 * m, seed * 31 + m as u64);
             // All-global assignment stresses the wrap-around the hardest.
-            let root = (0..inst.family().len())
-                .find(|&a| inst.set(a).len() == m)
-                .expect("semi family");
+            let root =
+                (0..inst.family().len()).find(|&a| inst.set(a).len() == m).expect("semi family");
             let asg = Assignment::new(vec![root; inst.num_jobs()]);
             let t_h = asg.minimal_integral_horizon(&inst).expect("finite");
             let sched = schedule_semi_partitioned(&inst, &asg, &Q::from(t_h)).expect("ok");
@@ -181,8 +185,14 @@ pub fn e5(seeds: u64) -> String {
         "E5  Policy comparison on an SMP-CMP tree (mean makespan; lower is better)\n\n",
     );
     let mut t = Table::new(&[
-        "overhead%", "partitioned LPT", "partitioned LST", "global McN", "semi FFD",
-        "greedy hier", "2-approx", "LP bound T*",
+        "overhead%",
+        "partitioned LPT",
+        "partitioned LST",
+        "global McN",
+        "semi FFD",
+        "greedy hier",
+        "2-approx",
+        "LP bound T*",
     ]);
     let n = 20usize;
     for ovh in [0u64, 25, 50, 100] {
@@ -194,9 +204,8 @@ pub fn e5(seeds: u64) -> String {
             let p = singleton_times(&completed);
             let lpt = lpt_greedy(&p, m).expect("feasible").makespan as f64;
             let lst = lst_partitioned(&p, m).expect("feasible").makespan as f64;
-            let global_ps: Vec<u64> = (0..inst.num_jobs())
-                .map(|j| inst.ptime(j, 0).expect("root finite"))
-                .collect();
+            let global_ps: Vec<u64> =
+                (0..inst.num_jobs()).map(|j| inst.ptime(j, 0).expect("root finite")).collect();
             let mcn = mcnaughton(&global_ps, m).t.to_f64();
             // Semi view: global set + singletons.
             let singles = completed.singleton_index();
@@ -217,10 +226,7 @@ pub fn e5(seeds: u64) -> String {
             let approx = two_approx(&inst);
             let two = approx.makespan.to_f64();
             let tstar = approx.t_star as f64;
-            for (slot, v) in acc
-                .iter_mut()
-                .zip([lpt, lst, mcn, semi, greedy, two, tstar])
-            {
+            for (slot, v) in acc.iter_mut().zip([lpt, lst, mcn, semi, greedy, two, tstar]) {
                 *slot += v / seeds as f64;
             }
         }
@@ -242,7 +248,12 @@ pub fn e6(seeds: u64) -> String {
     let mut out =
         String::from("E6  Theorem VI.1 (Model 1): makespan ≤ 3T, memory ≤ 3B after rounding\n\n");
     let mut t = Table::new(&[
-        "pressure%", "max mk/T", "max mem/B", "mean rows dropped", "fallbacks", "runs",
+        "pressure%",
+        "max mk/T",
+        "max mem/B",
+        "mean rows dropped",
+        "fallbacks",
+        "runs",
     ]);
     for pressure in [60u64, 80, 95] {
         let mut max_mk = 0.0f64;
@@ -285,9 +296,8 @@ pub fn e6(seeds: u64) -> String {
 
 /// E7 — Theorem VI.3 (Model 2): σ = 2 + H_k (k = 2 ⇒ 3 + 1/m).
 pub fn e7(seeds: u64) -> String {
-    let mut out = String::from(
-        "E7  Theorem VI.3 (Model 2): makespan ≤ σT, per-set memory ≤ σµ^h\n\n",
-    );
+    let mut out =
+        String::from("E7  Theorem VI.3 (Model 2): makespan ≤ σT, per-set memory ≤ σµ^h\n\n");
     let mut t = Table::new(&["levels k", "σ (bound)", "max mk/T", "max mem/cap", "runs"]);
     let topologies: Vec<(usize, laminar::LaminarFamily)> = vec![
         (2, topology::semi_partitioned(4)),
@@ -312,8 +322,7 @@ pub fn e7(seeds: u64) -> String {
                 if let Some(cap) = m2.capacity(a) {
                     assert!(res.memory_usage[a] <= m2.sigma() * cap.clone(), "σµ^h violated");
                     if cap.is_positive() {
-                        max_mem =
-                            max_mem.max(res.memory_usage[a].to_f64() / cap.to_f64());
+                        max_mem = max_mem.max(res.memory_usage[a].to_f64() / cap.to_f64());
                     }
                 }
             }
@@ -353,9 +362,7 @@ pub fn e8(seeds: u64) -> String {
             let ptimes: Vec<Vec<Option<u64>>> = (0..n)
                 .map(|_| {
                     sets.iter()
-                        .map(|_| {
-                            (r.gen_range(0..10) < 8).then(|| r.gen_range(1..=9u64))
-                        })
+                        .map(|_| (r.gen_range(0..10) < 8).then(|| r.gen_range(1..=9u64)))
                         .collect()
                 })
                 .collect();
@@ -392,10 +399,10 @@ pub fn e8(seeds: u64) -> String {
 /// E9 — Lemma V.1 ablation: the hierarchical-LP + push-down oracle agrees
 /// with the direct singleton LP, at a measurable runtime cost.
 pub fn e9(seeds: u64) -> String {
-    let mut out = String::from(
-        "E9  Lemma V.1 ablation: push-down vs direct singleton LP (same T*)\n\n",
-    );
-    let mut t = Table::new(&["topology", "n", "T* direct", "T* pushdown", "time direct", "time pushdown"]);
+    let mut out =
+        String::from("E9  Lemma V.1 ablation: push-down vs direct singleton LP (same T*)\n\n");
+    let mut t =
+        Table::new(&["topology", "n", "T* direct", "T* pushdown", "time direct", "time pushdown"]);
     for (name, fam) in fixtures::e3_topologies() {
         let n = 8usize;
         for seed in 0..seeds.min(3) {

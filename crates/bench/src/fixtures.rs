@@ -55,8 +55,7 @@ mod tests {
     fn e5_overhead_zero_is_uniform_across_sets() {
         let inst = e5_instance(0, 4, 2);
         for j in 0..4 {
-            let times: Vec<_> =
-                (0..inst.family().len()).map(|a| inst.ptime(j, a)).collect();
+            let times: Vec<_> = (0..inst.family().len()).map(|a| inst.ptime(j, a)).collect();
             assert!(times.windows(2).all(|w| w[0] == w[1]));
         }
     }

@@ -47,9 +47,7 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(
-            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "),
-        );
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));

@@ -58,11 +58,7 @@ pub fn singleton_times(instance: &Instance) -> Vec<Vec<Option<u64>>> {
     let m = instance.num_machines();
     let singles = instance.singleton_index();
     (0..instance.num_jobs())
-        .map(|j| {
-            (0..m)
-                .map(|i| singles[i].and_then(|a| instance.ptime(j, a)))
-                .collect()
-        })
+        .map(|j| (0..m).map(|i| singles[i].and_then(|a| instance.ptime(j, a))).collect())
         .collect()
 }
 
@@ -89,10 +85,7 @@ pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoAppro
         };
     }
 
-    let lo = completed
-        .bottleneck_lower_bound()
-        .max(completed.volume_lower_bound())
-        .max(1);
+    let lo = completed.bottleneck_lower_bound().max(completed.volume_lower_bound()).max(1);
     let hi = completed.sequential_upper_bound().max(lo);
 
     let t_star = match method {
@@ -147,9 +140,8 @@ pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoAppro
         .collect();
     let assignment = Assignment::new(mask);
 
-    let t_sched = assignment
-        .minimal_integral_horizon(&completed)
-        .expect("assignment uses finite pairs");
+    let t_sched =
+        assignment.minimal_integral_horizon(&completed).expect("assignment uses finite pairs");
     debug_assert!(t_sched <= 2 * t_star, "LST guarantee");
     let t_q = Q::from(t_sched);
     let schedule = schedule_hierarchical(&completed, &assignment, &t_q)
@@ -232,9 +224,8 @@ fn preemptive_feasible(p: &[Vec<Option<u64>>], m: usize, t: u64) -> bool {
     let var = |j: usize, i: usize| pairs.iter().position(|&q| q == (j, i));
     let mut lp = LinearProgram::new(pairs.len());
     for j in 0..p.len() {
-        let coeffs: Vec<(usize, Q)> = (0..m)
-            .filter_map(|i| var(j, i).map(|v| (v, Q::one())))
-            .collect();
+        let coeffs: Vec<(usize, Q)> =
+            (0..m).filter_map(|i| var(j, i).map(|v| (v, Q::one()))).collect();
         if coeffs.is_empty() {
             return false;
         }
@@ -273,11 +264,8 @@ pub fn eight_approx(gi: &GeneralInstance) -> Option<EightApproxResult> {
             preemptive_lb: 0,
         });
     }
-    let hi: u64 = p
-        .iter()
-        .map(|row| row.iter().flatten().min().copied().unwrap_or(0))
-        .sum::<u64>()
-        .max(1);
+    let hi: u64 =
+        p.iter().map(|row| row.iter().flatten().min().copied().unwrap_or(0)).sum::<u64>().max(1);
     let (t_star, rounding) = lst_binary_search(&p, m, 1, hi)?;
     let makespan = rounding.makespan(&p, m);
 
@@ -321,9 +309,7 @@ mod tests {
         let inst = example_ii_1();
         let res = two_approx(&inst);
         assert!(!res.fallback_used);
-        res.schedule
-            .validate(&res.instance, &res.assignment, &res.makespan)
-            .unwrap();
+        res.schedule.validate(&res.instance, &res.assignment, &res.makespan).unwrap();
         // OPT = 2; guarantee: makespan ≤ 2·T* ≤ 2·OPT = 4.
         assert!(res.makespan <= Q::from_int(4));
         assert!(res.t_star <= 2);
@@ -351,12 +337,7 @@ mod tests {
             let approx = two_approx(&inst);
             let exact = solve_exact(&inst, &ExactOptions::default()).unwrap();
             let bound = Q::from(2 * exact.t);
-            assert!(
-                approx.makespan <= bound,
-                "seed {seed}: {} > 2·{}",
-                approx.makespan,
-                exact.t
-            );
+            assert!(approx.makespan <= bound, "seed {seed}: {} > 2·{}", approx.makespan, exact.t);
             // And T* really is a lower bound on OPT.
             assert!(approx.t_star <= exact.t);
         }
@@ -365,12 +346,10 @@ mod tests {
     #[test]
     fn two_approx_handles_global_only_family() {
         // A = {M}: singleton completion makes it semi-partitioned-like.
-        let inst = Instance::from_fn(topology::global(3), 6, |j, _| Some(1 + j as u64 % 3))
-            .unwrap();
+        let inst =
+            Instance::from_fn(topology::global(3), 6, |j, _| Some(1 + j as u64 % 3)).unwrap();
         let res = two_approx(&inst);
-        res.schedule
-            .validate(&res.instance, &res.assignment, &res.makespan)
-            .unwrap();
+        res.schedule.validate(&res.instance, &res.assignment, &res.makespan).unwrap();
     }
 
     #[test]
@@ -379,15 +358,8 @@ mod tests {
         let m = 3;
         let gi = GeneralInstance {
             num_machines: m,
-            sets: vec![
-                MachineSet::from_iter(m, [0, 1]),
-                MachineSet::from_iter(m, [1, 2]),
-            ],
-            ptimes: vec![
-                vec![Some(4), Some(6)],
-                vec![Some(5), Some(3)],
-                vec![None, Some(2)],
-            ],
+            sets: vec![MachineSet::from_iter(m, [0, 1]), MachineSet::from_iter(m, [1, 2])],
+            ptimes: vec![vec![Some(4), Some(6)], vec![Some(5), Some(3)], vec![None, Some(2)]],
         };
         let res = eight_approx(&gi).unwrap();
         assert_eq!(res.machine_of.len(), 3);
@@ -428,9 +400,7 @@ mod tests {
         .unwrap();
         let res = two_approx(&inst);
         assert!(res.t_star as usize <= 2 * n);
-        res.schedule
-            .validate(&res.instance, &res.assignment, &res.makespan)
-            .unwrap();
+        res.schedule.validate(&res.instance, &res.assignment, &res.makespan).unwrap();
         assert!(res.makespan <= Q::from(2 * res.t_star));
     }
 }

@@ -219,9 +219,6 @@ mod tests {
     fn wrong_length_detected() {
         let inst = example_ii_1();
         let asg = Assignment::new(vec![1, 2]);
-        assert_eq!(
-            asg.check_ip2(&inst, &Q::from_int(5)),
-            Err(AssignmentViolation::WrongLength)
-        );
+        assert_eq!(asg.check_ip2(&inst, &Q::from_int(5)), Err(AssignmentViolation::WrongLength));
     }
 }

@@ -64,7 +64,11 @@ pub struct ExactResult {
 }
 
 /// Is (IP-3) integrally feasible at horizon `t`?
-fn probe(instance: &Instance, t: u64, opts: &ExactOptions) -> Result<Option<Assignment>, ExactError> {
+fn probe(
+    instance: &Instance,
+    t: u64,
+    opts: &ExactOptions,
+) -> Result<Option<Assignment>, ExactError> {
     let Some((lp, vm)) = build_ip3(instance, t) else {
         return Ok(None);
     };
@@ -149,9 +153,7 @@ mod tests {
     fn example_ii_1_optimum_is_2() {
         let res = solve_exact(&example_ii_1(), &ExactOptions::default()).unwrap();
         assert_eq!(res.t, 2);
-        res.schedule
-            .validate(&example_ii_1(), &res.assignment, &Q::from_int(2))
-            .unwrap();
+        res.schedule.validate(&example_ii_1(), &res.assignment, &Q::from_int(2)).unwrap();
     }
 
     #[test]
@@ -160,11 +162,7 @@ mod tests {
         // (the paper's comparison in Example II.1).
         let inst = Instance::new(
             topology::partitioned(2),
-            vec![
-                vec![Some(1), None],
-                vec![None, Some(1)],
-                vec![Some(2), Some(2)],
-            ],
+            vec![vec![Some(1), None], vec![None, Some(1)], vec![Some(2), Some(2)]],
         )
         .unwrap();
         let res = solve_exact(&inst, &ExactOptions::default()).unwrap();
@@ -186,8 +184,6 @@ mod tests {
                 if j < n - 1 {
                     if set.len() == 1 && set.contains(j) {
                         Some((n - 2) as u64)
-                    } else if set.len() == m {
-                        None
                     } else {
                         None
                     }
@@ -229,10 +225,8 @@ mod tests {
     fn clustered_exact_small() {
         let fam = topology::clustered(2, 2);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
-        let inst = Instance::from_fn(fam, 5, |j, a| {
-            Some(3 + (j as u64 % 2) + sizes[a] / 2)
-        })
-        .unwrap();
+        let inst =
+            Instance::from_fn(fam, 5, |j, a| Some(3 + (j as u64 % 2) + sizes[a] / 2)).unwrap();
         let res = solve_exact(&inst, &ExactOptions::default()).unwrap();
         let t_q = Q::from(res.t);
         res.schedule.validate(&inst, &res.assignment, &t_q).unwrap();

@@ -225,10 +225,7 @@ mod tests {
         // Local volumes count against the root capacity (2b at α = M).
         let inst = Instance::new(
             topology::semi_partitioned(2),
-            vec![
-                vec![Some(4), Some(4), Some(4)],
-                vec![Some(4), Some(4), Some(4)],
-            ],
+            vec![vec![Some(4), Some(4), Some(4)], vec![Some(4), Some(4), Some(4)]],
         )
         .unwrap();
         // t = 3: pairs are pruned (4 > 3) → no variables for either job.

@@ -61,12 +61,7 @@ mod tests {
     fn renders_paper_example() {
         // Example III.1's schedule on 2 machines, T = 2.
         let sched = Schedule {
-            segments: vec![
-                seg(0, 0, 1, 2),
-                seg(1, 1, 0, 1),
-                seg(2, 0, 0, 1),
-                seg(2, 1, 1, 2),
-            ],
+            segments: vec![seg(0, 0, 1, 2), seg(1, 1, 0, 1), seg(2, 0, 0, 1), seg(2, 1, 1, 2)],
         };
         let g = render(&sched, 2, &q(2), 8);
         let lines: Vec<&str> = g.lines().collect();
@@ -88,12 +83,7 @@ mod tests {
         // Job occupies [0, 1/2) of T = 1 with 2 columns: first column's
         // midpoint 1/4 is inside, second (3/4) is not.
         let sched = Schedule {
-            segments: vec![Segment {
-                job: 0,
-                machine: 0,
-                start: Q::zero(),
-                end: Q::ratio(1, 2),
-            }],
+            segments: vec![Segment { job: 0, machine: 0, start: Q::zero(), end: Q::ratio(1, 2) }],
         };
         let g = render(&sched, 1, &Q::one(), 2);
         assert!(g.contains("|0·|"));

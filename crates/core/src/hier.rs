@@ -105,11 +105,7 @@ pub fn allocate_loads(
 /// Lemma IV.2 witness: for set `beta`, the machines `i ∈ β` carrying both
 /// `LOAD[i, β] > 0` and `LOAD[i, α] > 0` for some strict superset `α`.
 /// On loads produced by Algorithm 2 this has at most one element.
-pub fn shared_machines(
-    instance: &Instance,
-    loads: &LoadTable,
-    beta: usize,
-) -> Vec<(usize, usize)> {
+pub fn shared_machines(instance: &Instance, loads: &LoadTable, beta: usize) -> Vec<(usize, usize)> {
     let fam = instance.family();
     let mut out = Vec::new();
     for i in fam.set(beta).iter() {
@@ -157,28 +153,21 @@ pub fn schedule_hierarchical(
         }
         let (start_machine, mut t_beta) = match shared.first() {
             Some(&(i, alpha_min)) => (i, t_at[alpha_min][i].clone()),
-            None => (
-                fam.set(beta).first().expect("sets are nonempty"),
-                Q::zero(),
-            ),
+            None => (fam.set(beta).first().expect("sets are nonempty"), Q::zero()),
         };
 
         // Job stream of β in ascending job order.
-        let mut stream = JobStream::new(assignment.jobs_on(beta).into_iter().map(|j| {
-            (
-                j,
-                instance
-                    .ptime_q(j, beta)
-                    .expect("check_ip2 verified finiteness"),
-            )
-        }));
+        let mut stream = JobStream::new(
+            assignment
+                .jobs_on(beta)
+                .into_iter()
+                .map(|j| (j, instance.ptime_q(j, beta).expect("check_ip2 verified finiteness"))),
+        );
 
         // Lines 11–14: machines of β starting from ℓ, wrapping ascending.
         let members = fam.set(beta).to_vec();
-        let pivot = members
-            .iter()
-            .position(|&k| k == start_machine)
-            .expect("start machine belongs to β");
+        let pivot =
+            members.iter().position(|&k| k == start_machine).expect("start machine belongs to β");
         let order = members[pivot..].iter().chain(members[..pivot].iter());
         for &k in order {
             let d = loads.load[beta][k].clone();
@@ -279,10 +268,9 @@ mod tests {
     #[test]
     fn deep_smp_cmp_tree() {
         let fam = topology::smp_cmp(&[2, 2, 2]); // 8 machines, 15 sets
-        // Monotone times: overhead grows with set size.
+                                                 // Monotone times: overhead grows with set size.
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
-        let inst =
-            Instance::from_fn(fam, 10, |j, a| Some(2 + (j % 3) as u64 + sizes[a])).unwrap();
+        let inst = Instance::from_fn(fam, 10, |j, a| Some(2 + (j % 3) as u64 + sizes[a])).unwrap();
         // Spread assignments over different levels, then find a feasible T.
         let asg = Assignment::new(vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 0]);
         let t = Q::from(asg.minimal_integral_horizon(&inst).unwrap());
@@ -294,10 +282,7 @@ mod tests {
     fn infeasible_input_rejected() {
         let inst = example_ii_1();
         let asg = Assignment::new(vec![1, 2, 0]);
-        assert!(matches!(
-            schedule_hierarchical(&inst, &asg, &q(1)),
-            Err(HierError::Infeasible(_))
-        ));
+        assert!(matches!(schedule_hierarchical(&inst, &asg, &q(1)), Err(HierError::Infeasible(_))));
     }
 
     #[test]

@@ -98,9 +98,7 @@ impl Instance {
         num_jobs: usize,
         f: impl Fn(usize, usize) -> Option<u64>,
     ) -> Result<Self, InstanceError> {
-        let ptimes = (0..num_jobs)
-            .map(|j| (0..family.len()).map(|a| f(j, a)).collect())
-            .collect();
+        let ptimes = (0..num_jobs).map(|j| (0..family.len()).map(|a| f(j, a)).collect()).collect();
         Self::new(family, ptimes)
     }
 
@@ -233,9 +231,8 @@ impl Instance {
     /// All sets of `A` containing machine `i` (the chain of the laminar
     /// forest through `i`), ordered small → large.
     pub fn chain_through(&self, i: usize) -> Vec<usize> {
-        let mut chain: Vec<usize> = (0..self.family.len())
-            .filter(|&a| self.family.set(a).contains(i))
-            .collect();
+        let mut chain: Vec<usize> =
+            (0..self.family.len()).filter(|&a| self.family.set(a).contains(i)).collect();
         chain.sort_by_key(|&a| self.family.set(a).len());
         chain
     }
@@ -258,8 +255,8 @@ mod tests {
         Instance::new(
             fam,
             vec![
-                vec![None, Some(1), None],    // job 1: only machine 0
-                vec![None, None, Some(1)],    // job 2: only machine 1
+                vec![None, Some(1), None],       // job 1: only machine 0
+                vec![None, None, Some(1)],       // job 2: only machine 1
                 vec![Some(2), Some(2), Some(2)], // job 3: anywhere, cost 2
             ],
         )

@@ -233,11 +233,7 @@ mod tests {
     fn two_t_guarantee() {
         // Random-ish heterogeneous instance; rounded makespan ≤ 2 t*.
         let p: Vec<Vec<Option<u64>>> = (0..6)
-            .map(|j| {
-                (0..3)
-                    .map(|i| Some(1 + ((j * 7 + i * 13) % 10) as u64))
-                    .collect()
-            })
+            .map(|j| (0..3).map(|i| Some(1 + ((j * 7 + i * 13) % 10) as u64)).collect())
             .collect();
         let (t_star, a) = lst_binary_search(&p, 3, 1, 100).unwrap();
         assert!(!a.fallback_used);

@@ -108,9 +108,8 @@ fn iterative_round(
             });
         }
         // Free variables: unbanned pairs of unfixed jobs.
-        let free: Vec<usize> = (0..pairs.len())
-            .filter(|&v| !banned[v] && fixed[pairs[v].1].is_none())
-            .collect();
+        let free: Vec<usize> =
+            (0..pairs.len()).filter(|&v| !banned[v] && fixed[pairs[v].1].is_none()).collect();
         let col_of: std::collections::HashMap<usize, usize> =
             free.iter().enumerate().map(|(c, &v)| (v, c)).collect();
 
@@ -281,10 +280,7 @@ pub fn model1_round(m1: &MemoryModel1, t: u64) -> Result<Model1Result, MemoryErr
     let inst = &m1.instance;
     let n = inst.num_jobs();
     let m = inst.num_machines();
-    if m1.sizes.len() != n
-        || m1.sizes.iter().any(|r| r.len() != m)
-        || m1.budgets.len() != m
-    {
+    if m1.sizes.len() != n || m1.sizes.iter().any(|r| r.len() != m) || m1.budgets.len() != m {
         return Err(MemoryError::ShapeMismatch);
     }
     // Prune: p ≤ t and every machine of the mask can hold the job alone.
@@ -312,10 +308,7 @@ pub fn model1_round(m1: &MemoryModel1, t: u64) -> Result<Model1Result, MemoryErr
             }
         }
         if !coeffs.is_empty() {
-            rows.push(PackingRow {
-                coeffs,
-                bound: Q::from(inst.set(a).len() as u64) * Q::from(t),
-            });
+            rows.push(PackingRow { coeffs, bound: Q::from(inst.set(a).len() as u64) * Q::from(t) });
         }
     }
     // Memory rows (7): Σ_j s_ij Σ_{α ∋ i} x_αj ≤ B_i.
@@ -343,9 +336,7 @@ pub fn model1_round(m1: &MemoryModel1, t: u64) -> Result<Model1Result, MemoryErr
     })?;
 
     let assignment = Assignment::new(outcome.mask);
-    let t_sched = assignment
-        .minimal_integral_horizon(inst)
-        .expect("rounded pairs are finite");
+    let t_sched = assignment.minimal_integral_horizon(inst).expect("rounded pairs are finite");
     let t_q = Q::from(t_sched);
     let schedule = schedule_hierarchical(inst, &assignment, &t_q)
         .expect("feasible at its own minimal horizon");
@@ -450,9 +441,7 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
     if fam.uniform_leaf_level().is_none() || !fam.is_rooted_tree() {
         return Err(MemoryError::NotUniformTree);
     }
-    if m2.mu <= Q::one()
-        || m2.sizes.iter().any(|s| s.is_negative() || *s > Q::one())
-    {
+    if m2.mu <= Q::one() || m2.sizes.iter().any(|s| s.is_negative() || *s > Q::one()) {
         return Err(MemoryError::BadParameters);
     }
 
@@ -475,10 +464,7 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
             }
         }
         if !coeffs.is_empty() {
-            rows.push(PackingRow {
-                coeffs,
-                bound: Q::from(fam.set(a).len() as u64) * Q::from(t),
-            });
+            rows.push(PackingRow { coeffs, bound: Q::from(fam.set(a).len() as u64) * Q::from(t) });
         }
     }
     for a in 0..fam.len() {
@@ -497,15 +483,12 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
     // Lemma VI.2 drop rule: remaining fractional mass ≤ ρ · b.
     let rho = m2.sigma() - Q::one();
     let outcome = iterative_round(n, &pairs, rows, &|row, remaining| {
-        let mass: Q =
-            Q::sum(remaining.iter().map(|(_, a)| a).collect::<Vec<_>>());
+        let mass: Q = Q::sum(remaining.iter().map(|(_, a)| a).collect::<Vec<_>>());
         mass <= rho.clone() * row.bound.clone()
     })?;
 
     let assignment = Assignment::new(outcome.mask);
-    let t_sched = assignment
-        .minimal_integral_horizon(inst)
-        .expect("rounded pairs are finite");
+    let t_sched = assignment.minimal_integral_horizon(inst).expect("rounded pairs are finite");
     let t_q = Q::from(t_sched);
     let schedule = schedule_hierarchical(inst, &assignment, &t_q)
         .expect("feasible at its own minimal horizon");
@@ -683,18 +666,12 @@ mod tests {
 
     /// Semi-partitioned, 2 machines, 4 jobs, moderate memory pressure.
     fn model1_fixture() -> MemoryModel1 {
-        let inst = Instance::from_fn(topology::semi_partitioned(2), 4, |j, _| {
-            Some(2 + j as u64 % 3)
-        })
-        .unwrap();
+        let inst =
+            Instance::from_fn(topology::semi_partitioned(2), 4, |j, _| Some(2 + j as u64 % 3))
+                .unwrap();
         MemoryModel1 {
             instance: inst,
-            sizes: vec![
-                vec![2, 2],
-                vec![3, 3],
-                vec![1, 2],
-                vec![2, 1],
-            ],
+            sizes: vec![vec![2, 2], vec![3, 3], vec![1, 2], vec![2, 1]],
             budgets: vec![5, 5],
         }
     }
@@ -704,9 +681,7 @@ mod tests {
         let m1 = model1_fixture();
         let t = model1_lp_t_star(&m1).unwrap();
         let res = model1_round(&m1, t).unwrap();
-        res.schedule
-            .validate(&m1.instance, &res.assignment, &res.makespan)
-            .unwrap();
+        res.schedule.validate(&m1.instance, &res.assignment, &res.makespan).unwrap();
         // Theorem VI.1 bounds.
         assert!(res.makespan <= Q::from(3 * t), "makespan {} > 3T", res.makespan);
         for (i, used) in res.memory_usage.iter().enumerate() {
@@ -731,19 +706,12 @@ mod tests {
 
     fn model2_fixture() -> MemoryModel2 {
         // 2-level semi-partitioned tree on 3 machines.
-        let inst = Instance::from_fn(topology::semi_partitioned(3), 5, |j, _| {
-            Some(1 + j as u64 % 3)
-        })
-        .unwrap();
+        let inst =
+            Instance::from_fn(topology::semi_partitioned(3), 5, |j, _| Some(1 + j as u64 % 3))
+                .unwrap();
         MemoryModel2 {
             instance: inst,
-            sizes: vec![
-                Q::ratio(1, 2),
-                Q::ratio(1, 3),
-                Q::ratio(2, 3),
-                Q::ratio(1, 2),
-                Q::one(),
-            ],
+            sizes: vec![Q::ratio(1, 2), Q::ratio(1, 3), Q::ratio(2, 3), Q::ratio(1, 2), Q::one()],
             mu: Q::from_int(2),
         }
     }
@@ -753,9 +721,7 @@ mod tests {
         let m2 = model2_fixture();
         let t = model2_lp_t_star(&m2).unwrap();
         let res = model2_round(&m2, t).unwrap();
-        res.schedule
-            .validate(&m2.instance, &res.assignment, &res.makespan)
-            .unwrap();
+        res.schedule.validate(&m2.instance, &res.assignment, &res.makespan).unwrap();
         let sigma = res.sigma.clone();
         // k = 2 → σ = 3 + 1/3.
         assert_eq!(sigma, Q::from_int(3) + Q::ratio(1, 3));
@@ -777,8 +743,7 @@ mod tests {
         let fam = topology::clustered(2, 2);
         let sizes_by_set: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
         let inst =
-            Instance::from_fn(fam, 6, |j, a| Some(1 + j as u64 % 2 + sizes_by_set[a] / 2))
-                .unwrap();
+            Instance::from_fn(fam, 6, |j, a| Some(1 + j as u64 % 2 + sizes_by_set[a] / 2)).unwrap();
         let m2 = MemoryModel2 {
             instance: inst,
             sizes: (0..6).map(|j| Q::ratio(1 + (j % 3) as i64, 3)).collect(),
@@ -805,26 +770,18 @@ mod tests {
     fn model2_rejects_forest() {
         let fam = laminar::LaminarFamily::new(
             2,
-            vec![
-                laminar::MachineSet::singleton(2, 0),
-                laminar::MachineSet::singleton(2, 1),
-            ],
+            vec![laminar::MachineSet::singleton(2, 0), laminar::MachineSet::singleton(2, 1)],
         )
         .unwrap();
         let inst = Instance::from_fn(fam, 1, |_, _| Some(1)).unwrap();
-        let m2 = MemoryModel2 {
-            instance: inst,
-            sizes: vec![Q::ratio(1, 2)],
-            mu: Q::from_int(2),
-        };
+        let m2 = MemoryModel2 { instance: inst, sizes: vec![Q::ratio(1, 2)], mu: Q::from_int(2) };
         assert!(matches!(model2_round(&m2, 10), Err(MemoryError::NotUniformTree)));
     }
 
     #[test]
     fn model1_tight_memory_forces_spreading() {
         // Two jobs that both fit machine 0 time-wise but not memory-wise.
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(2)).unwrap();
         let m1 = MemoryModel1 {
             instance: inst,
             sizes: vec![vec![4, 4], vec![4, 4]],

@@ -106,8 +106,7 @@ pub fn push_down_once(
         }
     }
     // Slacks before the move (the lemma evaluates them at the old x).
-    let slacks: Vec<Q> =
-        children.iter().map(|&c| slack(instance, vm, x, c, t)).collect();
+    let slacks: Vec<Q> = children.iter().map(|&c| slack(instance, vm, x, c, t)).collect();
     let total_slack = Q::sum(slacks.iter());
 
     for j in 0..instance.num_jobs() {
@@ -124,9 +123,7 @@ pub fn push_down_once(
                 return Err(PushdownError::InfeasibleInput { set: eta, job: j });
             }
             let c0 = children[0];
-            let v_c = vm
-                .var(c0, j)
-                .expect("monotonicity keeps zero-length pairs inside R");
+            let v_c = vm.var(c0, j).expect("monotonicity keeps zero-length pairs inside R");
             x[v_c] += w;
             x[v_eta] = Q::zero();
             continue;
@@ -139,9 +136,8 @@ pub fn push_down_once(
             if share.is_zero() {
                 continue;
             }
-            let v_c = vm.var(c, j).expect(
-                "monotonicity: p_βj ≤ p_ηj ≤ T, so the child pair is in R",
-            );
+            let v_c =
+                vm.var(c, j).expect("monotonicity: p_βj ≤ p_ηj ≤ T, so the child pair is in R");
             x[v_c] += share;
         }
         x[v_eta] = Q::zero();
@@ -216,8 +212,7 @@ mod tests {
     fn pushdown_on_three_levels() {
         let fam = topology::clustered(2, 2);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
-        let inst = Instance::from_fn(fam, 6, |j, a| Some(2 + (j % 2) as u64 + sizes[a]))
-            .unwrap();
+        let inst = Instance::from_fn(fam, 6, |j, a| Some(2 + (j % 2) as u64 + sizes[a])).unwrap();
         // Find a feasible T for the LP.
         let mut t = inst.bottleneck_lower_bound().max(inst.volume_lower_bound());
         let (vm, mut x, tq) = loop {
@@ -271,8 +266,7 @@ mod tests {
     fn deep_tree_pushdown() {
         let fam = topology::smp_cmp(&[2, 2]);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
-        let inst =
-            Instance::from_fn(fam, 5, |j, a| Some(1 + j as u64 % 3 + sizes[a] / 2)).unwrap();
+        let inst = Instance::from_fn(fam, 5, |j, a| Some(1 + j as u64 % 3 + sizes[a] / 2)).unwrap();
         let mut t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound());
         loop {
             if let Some((lp, vm)) = build_ip3(&inst, t) {

@@ -147,8 +147,7 @@ impl Schedule {
         }
         // Machine conflicts.
         for i in 0..instance.num_machines() {
-            let mut segs: Vec<&Segment> =
-                self.segments.iter().filter(|s| s.machine == i).collect();
+            let mut segs: Vec<&Segment> = self.segments.iter().filter(|s| s.machine == i).collect();
             segs.sort_by(|a, b| a.start.cmp(&b.start));
             for w in segs.windows(2) {
                 if w[1].start < w[0].end {
@@ -183,8 +182,7 @@ impl Schedule {
     /// if the machine changes and a *preemption* otherwise.
     pub fn disruptions(&self) -> DisruptionCounts {
         let mut counts = DisruptionCounts::default();
-        let jobs: std::collections::BTreeSet<usize> =
-            self.segments.iter().map(|s| s.job).collect();
+        let jobs: std::collections::BTreeSet<usize> = self.segments.iter().map(|s| s.job).collect();
         for j in jobs {
             let mut segs: Vec<&Segment> = self.segments.iter().filter(|s| s.job == j).collect();
             segs.sort_by(|a, b| a.start.cmp(&b.start));
@@ -212,20 +210,15 @@ impl Schedule {
     /// machine boundary (two wall-clock machine changes, one split);
     /// the combined `2m − 2` bound holds for both conventions.
     pub fn split_migrations(&self) -> usize {
-        let jobs: std::collections::BTreeSet<usize> =
-            self.segments.iter().map(|s| s.job).collect();
+        let jobs: std::collections::BTreeSet<usize> = self.segments.iter().map(|s| s.job).collect();
         jobs.into_iter().map(|j| self.machines_used(j).saturating_sub(1)).sum()
     }
 
     /// Per-job count of *distinct machines used minus one* — a lower bound
     /// witness for migrations, used by tests.
     pub fn machines_used(&self, job: usize) -> usize {
-        let set: std::collections::BTreeSet<usize> = self
-            .segments
-            .iter()
-            .filter(|s| s.job == job)
-            .map(|s| s.machine)
-            .collect();
+        let set: std::collections::BTreeSet<usize> =
+            self.segments.iter().filter(|s| s.job == job).map(|s| s.machine).collect();
         set.len()
     }
 
@@ -322,10 +315,7 @@ mod tests {
         let asg = Assignment::new(vec![1, 2, 0]);
         let mut sched = paper_schedule();
         sched.segments.pop(); // job 3 now receives only 1 < 2 units
-        assert_eq!(
-            sched.validate(&inst, &asg, &q(2)),
-            Err(ScheduleError::WrongAmount { job: 2 })
-        );
+        assert_eq!(sched.validate(&inst, &asg, &q(2)), Err(ScheduleError::WrongAmount { job: 2 }));
     }
 
     #[test]
@@ -333,13 +323,7 @@ mod tests {
         let inst = example_ii_1();
         // Assign job 3 to machine 0 only; schedule it on machine 1.
         let asg = Assignment::new(vec![1, 2, 1]);
-        let sched = Schedule {
-            segments: vec![
-                seg(0, 0, 1, 2),
-                seg(1, 1, 0, 1),
-                seg(2, 1, 1, 3),
-            ],
-        };
+        let sched = Schedule { segments: vec![seg(0, 0, 1, 2), seg(1, 1, 0, 1), seg(2, 1, 1, 3)] };
         assert_eq!(
             sched.validate(&inst, &asg, &q(3)),
             Err(ScheduleError::OutsideMask { segment: 2 })
@@ -351,10 +335,7 @@ mod tests {
         let inst = example_ii_1();
         let asg = Assignment::new(vec![1, 2, 0]);
         let sched = paper_schedule();
-        assert_eq!(
-            sched.validate(&inst, &asg, &q(1)),
-            Err(ScheduleError::OutsideHorizon(0))
-        );
+        assert_eq!(sched.validate(&inst, &asg, &q(1)), Err(ScheduleError::OutsideHorizon(0)));
     }
 
     #[test]
@@ -363,10 +344,7 @@ mod tests {
         let asg = Assignment::new(vec![1, 2, 0]);
         let mut sched = paper_schedule();
         sched.segments.push(seg(0, 0, 2, 2));
-        assert_eq!(
-            sched.validate(&inst, &asg, &q(2)),
-            Err(ScheduleError::EmptySegment(4))
-        );
+        assert_eq!(sched.validate(&inst, &asg, &q(2)), Err(ScheduleError::EmptySegment(4)));
     }
 
     #[test]
@@ -389,9 +367,7 @@ mod tests {
     fn split_migrations_convention() {
         // One job using 2 machines = 1 split migration, even if the wall
         // clock sees it hop twice (wrap + boundary).
-        let sched = Schedule {
-            segments: vec![seg(0, 0, 5, 10), seg(0, 0, 0, 2), seg(0, 1, 2, 4)],
-        };
+        let sched = Schedule { segments: vec![seg(0, 0, 5, 10), seg(0, 0, 0, 2), seg(0, 1, 2, 4)] };
         assert_eq!(sched.split_migrations(), 1);
         // Wall-clock counting sees two machine changes.
         assert_eq!(sched.disruptions().migrations, 2);

@@ -205,10 +205,7 @@ mod tests {
     #[test]
     fn all_global_matches_mcnaughton() {
         // 3 machines, 4 jobs of length 3, T = 4 (volume 12 = 3·4).
-        let inst = Instance::from_fn(topology::semi_partitioned(3), 4, |_, a| {
-            Some(if a == 0 { 3 } else { 3 })
-        })
-        .unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(3), 4, |_, _| Some(3)).unwrap();
         let asg = Assignment::new(vec![0; 4]);
         let sched = schedule_semi_partitioned(&inst, &asg, &q(4)).unwrap();
         sched.validate(&inst, &asg, &q(4)).unwrap();
@@ -264,19 +261,14 @@ mod tests {
     fn global_overload_detected() {
         // Volume 2·3 = 6 > 2·T with T = 2 … but (1d) also fails; craft a
         // case where only (1b) fails: 3 global jobs of 2 on 2 machines, T=2.
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(2), 3, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 3, |_, _| Some(2)).unwrap();
         let asg = Assignment::new(vec![0, 0, 0]);
-        assert_eq!(
-            schedule_semi_partitioned(&inst, &asg, &q(2)),
-            Err(SemiError::GlobalOverload)
-        );
+        assert_eq!(schedule_semi_partitioned(&inst, &asg, &q(2)), Err(SemiError::GlobalOverload));
     }
 
     #[test]
     fn local_overload_detected() {
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(3)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(3)).unwrap();
         let asg = Assignment::new(vec![1, 1]);
         assert_eq!(
             schedule_semi_partitioned(&inst, &asg, &q(4)),
@@ -298,8 +290,7 @@ mod tests {
     #[test]
     fn fractional_horizon_supported() {
         // T = 5/2 with global volume exactly 2 · 5/2 = 5.
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(2), 2, |_, _| Some(2)).unwrap();
         let asg = Assignment::new(vec![0, 0]);
         let t = Q::ratio(5, 2);
         let sched = schedule_semi_partitioned(&inst, &asg, &t).unwrap();

@@ -18,9 +18,7 @@ impl JobStream {
     /// Build from `(job, units)` pairs; zero-length pieces are dropped
     /// (a zero-time job occupies no time slots).
     pub(crate) fn new(pieces: impl IntoIterator<Item = (usize, Q)>) -> Self {
-        JobStream {
-            queue: pieces.into_iter().filter(|(_, p)| p.is_positive()).collect(),
-        }
+        JobStream { queue: pieces.into_iter().filter(|(_, p)| p.is_positive()).collect() }
     }
 
     /// Total remaining units.
@@ -83,9 +81,7 @@ impl JobStream {
 /// Merge back-to-back segments of the same job on the same machine
 /// (cosmetic: `place` may split a run at a piece boundary).
 pub(crate) fn coalesce(mut segments: Vec<Segment>) -> Vec<Segment> {
-    segments.sort_by(|a, b| {
-        (a.machine, &a.start).cmp(&(b.machine, &b.start))
-    });
+    segments.sort_by(|a, b| (a.machine, &a.start).cmp(&(b.machine, &b.start)));
     let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
     for s in segments {
         if let Some(last) = out.last_mut() {

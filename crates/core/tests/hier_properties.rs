@@ -15,8 +15,8 @@ use proptest::prelude::*;
 /// random (but feasible-by-construction) assignment over any set level.
 fn clustered_case() -> impl Strategy<Value = (Instance, Assignment)> {
     (
-        2usize..4,                                     // clusters
-        2usize..4,                                     // cluster width
+        2usize..4, // clusters
+        2usize..4, // cluster width
         proptest::collection::vec((1u64..7, 0usize..64), 1..9),
     )
         .prop_map(|(k, q, jobs)| {
@@ -24,10 +24,8 @@ fn clustered_case() -> impl Strategy<Value = (Instance, Assignment)> {
             let n_sets = fam.len();
             let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
             let bases: Vec<u64> = jobs.iter().map(|&(b, _)| b).collect();
-            let inst = Instance::from_fn(fam, jobs.len(), |j, a| {
-                Some(bases[j] + sizes[a] / 2)
-            })
-            .expect("monotone");
+            let inst = Instance::from_fn(fam, jobs.len(), |j, a| Some(bases[j] + sizes[a] / 2))
+                .expect("monotone");
             let mask: Vec<usize> = jobs.iter().map(|&(_, pick)| pick % n_sets).collect();
             (inst, Assignment::new(mask))
         })

@@ -214,9 +214,7 @@ impl LaminarFamily {
 
     /// The inclusion-minimal set of the family containing machine `i`.
     pub fn minimal_set_containing(&self, i: usize) -> Option<usize> {
-        (0..self.len())
-            .filter(|&a| self.sets[a].contains(i))
-            .min_by_key(|&a| self.sets[a].len())
+        (0..self.len()).filter(|&a| self.sets[a].contains(i)).min_by_key(|&a| self.sets[a].len())
     }
 
     /// Union of all sets — the machines the family can actually use.
@@ -279,11 +277,8 @@ mod tests {
 
     /// Semi-partitioned family on 3 machines: {M, {0}, {1}, {2}}.
     fn semi3() -> LaminarFamily {
-        LaminarFamily::new(
-            3,
-            vec![ms(3, &[0, 1, 2]), ms(3, &[0]), ms(3, &[1]), ms(3, &[2])],
-        )
-        .unwrap()
+        LaminarFamily::new(3, vec![ms(3, &[0, 1, 2]), ms(3, &[0]), ms(3, &[1]), ms(3, &[2])])
+            .unwrap()
     }
 
     #[test]
@@ -375,11 +370,9 @@ mod tests {
     #[test]
     fn forest_with_two_roots() {
         // Two disjoint clusters without a global set.
-        let f = LaminarFamily::new(
-            4,
-            vec![ms(4, &[0, 1]), ms(4, &[2, 3]), ms(4, &[0]), ms(4, &[2])],
-        )
-        .unwrap();
+        let f =
+            LaminarFamily::new(4, vec![ms(4, &[0, 1]), ms(4, &[2, 3]), ms(4, &[0]), ms(4, &[2])])
+                .unwrap();
         assert_eq!(f.roots(), vec![0, 1]);
         assert!(!f.is_rooted_tree());
         assert_eq!(f.covered_machines(), ms(4, &[0, 1, 2, 3]));
@@ -390,16 +383,13 @@ mod tests {
         let f = LaminarFamily::new(3, vec![ms(3, &[0, 1, 2]), ms(3, &[0])]).unwrap();
         let (g, inherited) = f.with_singletons();
         assert_eq!(g.len(), 4); // adds {1}, {2}
-        // Both inherit from the root (the only set containing them).
+                                // Both inherit from the root (the only set containing them).
         assert_eq!(inherited.len(), 2);
         for (_new_idx, src) in &inherited {
             assert_eq!(*src, 0);
         }
         // Already-present singleton {0} not duplicated.
-        assert_eq!(
-            g.sets().iter().filter(|s| s.len() == 1).count(),
-            3
-        );
+        assert_eq!(g.sets().iter().filter(|s| s.len() == 1).count(), 3);
     }
 
     #[test]

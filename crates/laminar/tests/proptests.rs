@@ -5,10 +5,9 @@ use proptest::prelude::*;
 
 /// Strategy: random subsets of a universe of size `m`.
 fn subset(m: usize) -> impl Strategy<Value = MachineSet> {
-    proptest::collection::vec(proptest::bool::ANY, m)
-        .prop_map(move |bits| {
-            MachineSet::from_iter(m, bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i))
-        })
+    proptest::collection::vec(proptest::bool::ANY, m).prop_map(move |bits| {
+        MachineSet::from_iter(m, bits.iter().enumerate().filter(|(_, b)| **b).map(|(i, _)| i))
+    })
 }
 
 proptest! {

@@ -125,10 +125,7 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
         } else {
             // No LP point to guide us; branch on the first unfixed binary.
             let fixed: Vec<usize> = fixings.iter().map(|&(v, _)| v).collect();
-            branch_var = binary
-                .iter()
-                .find(|v| !fixed.contains(v))
-                .map(|&v| (v, Q::zero()));
+            branch_var = binary.iter().find(|v| !fixed.contains(v)).map(|&v| (v, Q::zero()));
         }
 
         match branch_var {
@@ -152,8 +149,7 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
             Some((v, _)) => {
                 // Explore the branch nearest the LP value first (pushed
                 // last → popped first).
-                let prefer_one = relax.status == LpStatus::Optimal
-                    && relax.values[v] >= half;
+                let prefer_one = relax.status == LpStatus::Optimal && relax.values[v] >= half;
                 let mut near = fixings.clone();
                 let mut far = fixings;
                 near.push((v, prefer_one));
@@ -198,11 +194,7 @@ mod tests {
         lp.set_objective(0, q(-3));
         lp.set_objective(1, q(-4));
         lp.set_objective(2, q(-5));
-        lp.add_constraint(
-            vec![(0, q(2)), (1, q(3)), (2, q(4))],
-            Relation::Le,
-            q(5),
-        );
+        lp.add_constraint(vec![(0, q(2)), (1, q(3)), (2, q(4))], Relation::Le, q(5));
         let sol = solve_binary(&lp, &[0, 1, 2], &BnbOptions::default());
         assert_eq!(sol.status, MilpStatus::Optimal);
         assert_eq!(sol.objective, q(-7));

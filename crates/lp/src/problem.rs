@@ -44,11 +44,7 @@ impl LinearProgram {
     /// A program over `num_vars` nonnegative variables with zero objective
     /// (i.e. a pure feasibility problem until an objective is set).
     pub fn new(num_vars: usize) -> Self {
-        LinearProgram {
-            num_vars,
-            objective: vec![Q::zero(); num_vars],
-            constraints: Vec::new(),
-        }
+        LinearProgram { num_vars, objective: vec![Q::zero(); num_vars], constraints: Vec::new() }
     }
 
     /// Number of variables.

@@ -116,11 +116,7 @@ enum PhaseOutcome {
 
 /// Run simplex minimizing `cost` (dense over all tableau columns), entering
 /// only columns `j` with `allowed(j)`. Bland's rule throughout.
-fn run_phase(
-    t: &mut Tableau,
-    cost: &[Q],
-    allowed: &dyn Fn(usize) -> bool,
-) -> PhaseOutcome {
+fn run_phase(t: &mut Tableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> PhaseOutcome {
     // Reduced cost row r[j] = c[j] - c_B · A_j, maintained incrementally.
     let mut r: Vec<Q> = cost.to_vec();
     for (i, &bcol) in t.basis.iter().enumerate() {
@@ -157,9 +153,7 @@ fn run_phase(
             match &leave {
                 None => leave = Some((i, ratio)),
                 Some((best_i, best)) => {
-                    if ratio < *best
-                        || (ratio == *best && t.basis[i] < t.basis[*best_i])
-                    {
+                    if ratio < *best || (ratio == *best && t.basis[i] < t.basis[*best_i]) {
                         leave = Some((i, ratio));
                     }
                 }
@@ -221,18 +215,11 @@ impl LinearProgram {
         let slack_start = n;
         let art_start = n + n_slack;
         // Artificial needed for Ge and Eq rows.
-        let n_art = rels
-            .iter()
-            .filter(|r| matches!(r, Relation::Ge | Relation::Eq))
-            .count();
+        let n_art = rels.iter().filter(|r| matches!(r, Relation::Ge | Relation::Eq)).count();
         let cols = art_start + n_art;
 
-        let mut t = Tableau {
-            rows: Vec::with_capacity(m),
-            b: rhs,
-            basis: vec![usize::MAX; m],
-            cols,
-        };
+        let mut t =
+            Tableau { rows: Vec::with_capacity(m), b: rhs, basis: vec![usize::MAX; m], cols };
         let mut next_slack = slack_start;
         let mut next_art = art_start;
         for (i, row) in dense_rows.into_iter().enumerate() {

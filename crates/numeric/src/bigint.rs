@@ -146,9 +146,7 @@ impl BigInt {
             (a, b) if a == b => BigInt { sign: a, mag: self.mag.add(&other.mag) },
             _ => match self.mag.cmp_mag(&other.mag) {
                 Ordering::Equal => Self::zero(),
-                Ordering::Greater => {
-                    BigInt { sign: self.sign, mag: self.mag.sub(&other.mag) }
-                }
+                Ordering::Greater => BigInt { sign: self.sign, mag: self.mag.sub(&other.mag) },
                 Ordering::Less => BigInt { sign: other.sign, mag: other.mag.sub(&self.mag) },
             },
         }

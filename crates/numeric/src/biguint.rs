@@ -88,9 +88,7 @@ impl BigUint {
     pub fn bits(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
-            }
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 

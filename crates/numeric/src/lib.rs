@@ -20,8 +20,8 @@
 //! variables), and the simple representations keep the proptest oracles
 //! easy to trust.
 
-mod biguint;
 mod bigint;
+mod biguint;
 mod rational;
 
 pub use bigint::BigInt;

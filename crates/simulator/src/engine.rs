@@ -148,15 +148,7 @@ pub fn simulate(schedule: &Schedule, num_machines: usize) -> Result<SimReport, S
         }
     }
 
-    Ok(SimReport {
-        trace,
-        makespan,
-        busy,
-        received,
-        context_switches,
-        migrations,
-        preemptions,
-    })
+    Ok(SimReport { trace, makespan, busy, received, context_switches, migrations, preemptions })
 }
 
 #[cfg(test)]
@@ -175,12 +167,7 @@ mod tests {
     fn paper_example_schedule_replays() {
         // Example III.1's schedule.
         let sched = Schedule {
-            segments: vec![
-                seg(0, 0, 1, 2),
-                seg(1, 1, 0, 1),
-                seg(2, 0, 0, 1),
-                seg(2, 1, 1, 2),
-            ],
+            segments: vec![seg(0, 0, 1, 2), seg(1, 1, 0, 1), seg(2, 0, 0, 1), seg(2, 1, 1, 2)],
         };
         let rep = simulate(&sched, 2).unwrap();
         assert_eq!(rep.makespan, q(2));
@@ -194,10 +181,7 @@ mod tests {
     #[test]
     fn machine_conflict_detected() {
         let sched = Schedule { segments: vec![seg(0, 0, 0, 2), seg(1, 0, 1, 3)] };
-        assert!(matches!(
-            simulate(&sched, 1),
-            Err(SimError::MachineBusy { machine: 0, .. })
-        ));
+        assert!(matches!(simulate(&sched, 1), Err(SimError::MachineBusy { machine: 0, .. })));
     }
 
     #[test]
@@ -227,9 +211,8 @@ mod tests {
     fn unknown_machine_and_degenerate() {
         let sched = Schedule { segments: vec![seg(0, 5, 0, 1)] };
         assert!(matches!(simulate(&sched, 2), Err(SimError::UnknownMachine { segment: 0 })));
-        let sched = Schedule {
-            segments: vec![Segment { job: 0, machine: 0, start: q(1), end: q(1) }],
-        };
+        let sched =
+            Schedule { segments: vec![Segment { job: 0, machine: 0, start: q(1), end: q(1) }] };
         assert!(matches!(simulate(&sched, 2), Err(SimError::DegenerateSegment { segment: 0 })));
     }
 

@@ -20,9 +20,8 @@ pub fn model1_workload(
     assert!(smax >= 1 && pressure_pct >= 1);
     let n = instance.num_jobs();
     let m = instance.num_machines();
-    let sizes: Vec<Vec<u64>> = (0..n)
-        .map(|_| (0..m).map(|_| rng.gen_range(1..=smax)).collect())
-        .collect();
+    let sizes: Vec<Vec<u64>> =
+        (0..n).map(|_| (0..m).map(|_| rng.gen_range(1..=smax)).collect()).collect();
     let budgets: Vec<u64> = (0..m)
         .map(|i| {
             let total: u64 = sizes.iter().map(|row| row[i]).sum();
@@ -49,8 +48,7 @@ mod tests {
 
     #[test]
     fn model1_budgets_fit_single_jobs() {
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
         let m1 = model1_workload(inst, 4, 80, &mut rng(9));
         for i in 0..3 {
             assert!(m1.budgets[i] >= 4, "a single job always fits");
@@ -62,8 +60,7 @@ mod tests {
 
     #[test]
     fn model2_sizes_in_unit_interval() {
-        let inst =
-            Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
+        let inst = Instance::from_fn(topology::semi_partitioned(3), 8, |_, _| Some(2)).unwrap();
         let m2 = model2_workload(inst, 4, Q::from_int(2), &mut rng(9));
         for s in &m2.sizes {
             assert!(s.is_positive() && *s <= Q::one());
@@ -73,8 +70,7 @@ mod tests {
     #[test]
     fn seeded_reproducibility() {
         let mk = |seed| {
-            let inst =
-                Instance::from_fn(topology::semi_partitioned(2), 5, |_, _| Some(3)).unwrap();
+            let inst = Instance::from_fn(topology::semi_partitioned(2), 5, |_, _| Some(3)).unwrap();
             model1_workload(inst, 5, 70, &mut rng(seed))
         };
         let (a, b) = (mk(42), mk(42));

@@ -11,11 +11,7 @@ use laminar::topology;
 pub fn example_ii_1() -> Instance {
     Instance::new(
         topology::semi_partitioned(2),
-        vec![
-            vec![None, Some(1), None],
-            vec![None, None, Some(1)],
-            vec![Some(2), Some(2), Some(2)],
-        ],
+        vec![vec![None, Some(1), None], vec![None, None, Some(1)], vec![Some(2), Some(2), Some(2)]],
     )
     .expect("paper example is a valid instance")
 }
@@ -25,11 +21,7 @@ pub fn example_ii_1() -> Instance {
 pub fn example_ii_1_unrelated() -> Instance {
     Instance::new(
         topology::partitioned(2),
-        vec![
-            vec![Some(1), None],
-            vec![None, Some(1)],
-            vec![Some(2), Some(2)],
-        ],
+        vec![vec![Some(1), None], vec![None, Some(1)], vec![Some(2), Some(2)]],
     )
     .expect("valid")
 }
@@ -87,8 +79,7 @@ mod tests {
         for n in [3usize, 4, 6] {
             let hier = solve_exact(&example_v_1(n), &ExactOptions::default()).unwrap();
             assert_eq!(hier.t as usize, n - 1, "n = {n}");
-            let unrel =
-                solve_exact(&example_v_1_unrelated(n), &ExactOptions::default()).unwrap();
+            let unrel = solve_exact(&example_v_1_unrelated(n), &ExactOptions::default()).unwrap();
             assert_eq!(unrel.t as usize, 2 * n - 3, "n = {n}");
         }
     }

@@ -53,10 +53,7 @@ pub fn heterogeneous_instance(
     let works: Vec<u64> = (0..n).map(|_| rng.gen_range(work_lo..=work_hi)).collect();
     let sets: Vec<laminar::MachineSet> = family.sets().to_vec();
     Instance::from_fn(family, n, move |j, a| {
-        sets[a]
-            .iter()
-            .map(|i| works[j].div_ceil(speeds[i]))
-            .max()
+        sets[a].iter().map(|i| works[j].div_ceil(speeds[i])).max()
     })
     .expect("max over members is monotone")
 }
@@ -76,7 +73,7 @@ pub fn restricted_instance(
     assert!(local_pct <= 100);
     let sizes: Vec<u64> = family.sets().iter().map(|s| s.len() as u64).collect();
     let bases: Vec<u64> = (0..n).map(|_| rng.gen_range(lo..=hi)).collect();
-    let local_only: Vec<bool> = (0..n).map(|_| rng.gen_range(0..100) < local_pct).collect();
+    let local_only: Vec<bool> = (0..n).map(|_| rng.gen_range(0u32..100) < local_pct).collect();
     Instance::from_fn(family, n, move |j, a| {
         if local_only[j] && sizes[a] > 1 {
             None
@@ -140,8 +137,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_is_monotone() {
-        let inst =
-            heterogeneous_instance(topology::smp_cmp(&[2, 2]), 8, 2, 20, 4, &mut rng(3));
+        let inst = heterogeneous_instance(topology::smp_cmp(&[2, 2]), 8, 2, 20, 4, &mut rng(3));
         assert_monotone(&inst);
     }
 

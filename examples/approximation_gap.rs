@@ -18,7 +18,10 @@ fn main() {
     let unrel = paper::example_ii_1_unrelated();
     let semi_opt = solve_exact(&semi, &ExactOptions::default()).expect("solvable");
     let unrel_opt = solve_exact(&unrel, &ExactOptions::default()).expect("solvable");
-    println!("Example II.1: semi-partitioned OPT = {}, unrelated OPT = {}", semi_opt.t, unrel_opt.t);
+    println!(
+        "Example II.1: semi-partitioned OPT = {}, unrelated OPT = {}",
+        semi_opt.t, unrel_opt.t
+    );
     assert_eq!((semi_opt.t, unrel_opt.t), (2, 3));
 
     // Show the migrating schedule the paper describes (Example III.1).

@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example memory_constrained`
 
-use hier_sched::core::memory::{
-    model1_lp_t_star, model1_round, model2_lp_t_star, model2_round,
-};
+use hier_sched::core::memory::{model1_lp_t_star, model1_round, model2_lp_t_star, model2_round};
 use hier_sched::laminar::topology;
 use hier_sched::numeric::Q;
 use hier_sched::workloads::{memory, random, rng};
@@ -51,11 +49,7 @@ fn main() {
     let t2 = model2_lp_t_star(&m2).expect("LP feasible");
     let res2 = model2_round(&m2, t2).expect("roundable");
     println!("  LP horizon T = {t2}");
-    println!(
-        "  rounded: makespan = {} (bound σT = {})",
-        res2.makespan,
-        m2.sigma() * Q::from(t2)
-    );
+    println!("  rounded: makespan = {} (bound σT = {})", res2.makespan, m2.sigma() * Q::from(t2));
     assert!(res2.makespan <= m2.sigma() * Q::from(t2));
     for a in 0..m2.instance.family().len() {
         if let Some(cap) = m2.capacity(a) {

@@ -35,10 +35,7 @@ fn paper_example_full_pipeline() {
 
     let approx = two_approx(&inst);
     assert!(approx.makespan <= Q::from(2 * exact.t));
-    approx
-        .schedule
-        .validate(&approx.instance, &approx.assignment, &approx.makespan)
-        .unwrap();
+    approx.schedule.validate(&approx.instance, &approx.assignment, &approx.makespan).unwrap();
 }
 
 /// Random SMP-CMP instances: approximation guarantee, scheduler validity,
@@ -49,16 +46,10 @@ fn random_smp_cmp_pipeline() {
         let inst = random::smp_cmp_instance(&[2, 2], 8, 1, 8, 30, &mut rng(seed));
         let approx = two_approx(&inst);
         assert!(!approx.fallback_used, "LST matching never needs the fallback");
-        approx
-            .schedule
-            .validate(&approx.instance, &approx.assignment, &approx.makespan)
-            .unwrap();
+        approx.schedule.validate(&approx.instance, &approx.assignment, &approx.makespan).unwrap();
         let exact = solve_exact(&inst, &ExactOptions::default()).unwrap();
         assert!(approx.t_star <= exact.t, "T* is a lower bound (seed {seed})");
-        assert!(
-            approx.makespan <= Q::from(2 * exact.t),
-            "2-approx guarantee (seed {seed})"
-        );
+        assert!(approx.makespan <= Q::from(2 * exact.t), "2-approx guarantee (seed {seed})");
         let rep = simulate(&approx.schedule, inst.num_machines()).unwrap();
         assert!(rep.makespan <= approx.makespan);
     }
@@ -85,15 +76,10 @@ fn heuristics_bracket_optimum() {
         let exact = solve_exact(&inst, &ExactOptions::default()).unwrap();
         let greedy = greedy_hierarchical(&inst);
         assert!(greedy.t >= exact.t, "greedy ≥ OPT (seed {seed})");
-        greedy
-            .schedule
-            .validate(&inst, &greedy.assignment, &Q::from(greedy.t))
-            .unwrap();
+        greedy.schedule.validate(&inst, &greedy.assignment, &Q::from(greedy.t)).unwrap();
         let ffd = semi_first_fit(&inst).unwrap();
         assert!(ffd.t >= exact.t, "FFD ≥ OPT (seed {seed})");
-        ffd.schedule
-            .validate(&inst, &ffd.assignment, &Q::from(ffd.t))
-            .unwrap();
+        ffd.schedule.validate(&inst, &ffd.assignment, &Q::from(ffd.t)).unwrap();
     }
 }
 
@@ -104,10 +90,7 @@ fn restricted_instances_pipeline() {
         let inst =
             random::restricted_instance(topology::semi_partitioned(3), 8, 1, 5, 50, &mut rng(seed));
         let approx = two_approx(&inst);
-        approx
-            .schedule
-            .validate(&approx.instance, &approx.assignment, &approx.makespan)
-            .unwrap();
+        approx.schedule.validate(&approx.instance, &approx.assignment, &approx.makespan).unwrap();
         let exact = solve_exact(&inst, &ExactOptions::default()).unwrap();
         assert!(approx.makespan <= Q::from(2 * exact.t), "seed {seed}");
     }
@@ -141,12 +124,9 @@ fn both_schedulers_realize_same_pairs() {
         let inst = random::semi_uniform(4, 10, 1, 6, &mut rng(seed + 11));
         // Mix: global for even jobs, best singleton for odd.
         let singles = inst.singleton_index();
-        let root = (0..inst.family().len())
-            .find(|&a| inst.set(a).len() == 4)
-            .unwrap();
-        let mask: Vec<usize> = (0..10)
-            .map(|j| if j % 2 == 0 { root } else { singles[j % 4].unwrap() })
-            .collect();
+        let root = (0..inst.family().len()).find(|&a| inst.set(a).len() == 4).unwrap();
+        let mask: Vec<usize> =
+            (0..10).map(|j| if j % 2 == 0 { root } else { singles[j % 4].unwrap() }).collect();
         let asg = Assignment::new(mask);
         let t = Q::from(asg.minimal_integral_horizon(&inst).unwrap());
         let s1 = schedule_semi_partitioned(&inst, &asg, &t).unwrap();

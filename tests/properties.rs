@@ -11,9 +11,9 @@
 //! * Lemma V.1 — push-down preserves feasibility, empties non-singletons;
 //! * Theorem V.2 — `makespan ≤ 2·T* ≤ 2·OPT`-side conditions.
 
-use hier_sched::core::hier::{allocate_loads, schedule_hierarchical, shared_machines};
 use hier_sched::core::approx::two_approx;
 use hier_sched::core::formulations::build_ip3;
+use hier_sched::core::hier::{allocate_loads, schedule_hierarchical, shared_machines};
 use hier_sched::core::pushdown::{
     is_fractionally_feasible, push_down_all, supported_on_singletons,
 };
@@ -26,8 +26,7 @@ use hier_sched::simulator::simulate;
 use proptest::prelude::*;
 
 /// Strategy: a random semi-partitioned instance + feasible assignment.
-fn semi_instance_and_assignment(
-) -> impl Strategy<Value = (Instance, Assignment)> {
+fn semi_instance_and_assignment() -> impl Strategy<Value = (Instance, Assignment)> {
     (2usize..5, 1usize..9, proptest::collection::vec(1u64..9, 1..10)).prop_map(
         |(m, pick, bases)| {
             let n = bases.len();

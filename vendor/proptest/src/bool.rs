@@ -1,0 +1,6 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Any;
+
+/// Uniform `true`/`false`.
+pub const ANY: Any<bool> = Any(core::marker::PhantomData);

@@ -1,0 +1,182 @@
+//! Offline vendored shim for the subset of the `proptest` API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing engine with the same surface the
+//! seed tests were written against:
+//!
+//! * the [`proptest!`] macro (optional `#![proptest_config(..)]` header,
+//!   `name in strategy` and `name: Type` parameter forms, patterns on the
+//!   left of `in`);
+//! * strategies: integer/`bool` ranges and `ANY`, tuples of strategies,
+//!   [`collection::vec`], [`Strategy::prop_map`], [`Strategy::prop_filter`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * failing-seed persistence into `proptest-regressions/` next to the
+//!   test source, replayed before new cases on the next run.
+//!
+//! Differences from real proptest: no shrinking (the persisted seed
+//! regenerates the exact failing input instead), and case generation is
+//! seeded deterministically per test unless `PROPTEST_RNG_SEED` overrides
+//! it (a number, or `random` for entropy-based exploration).
+
+pub mod bool;
+pub mod collection;
+pub mod num;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias mirroring `proptest::prop` from the real crate's
+/// prelude (`prop::num::i64::ANY`, `prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::{bool, collection, num, strategy};
+}
+
+/// Property-test entry point. Wraps each `fn` in a case-running harness.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(a in 0u64..10, b: i64) { prop_assert!(a < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                $cfg,
+                file!(),
+                stringify!($name),
+            );
+            __runner.run(|__rng| {
+                $crate::__proptest_binds!(__rng, $($params)*);
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_binds {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $p:ident : $t:ty, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(
+            &$crate::strategy::any::<$t>(), $rng);
+        $crate::__proptest_binds!($rng, $($rest)*);
+    };
+    ($rng:ident, $p:ident : $t:ty) => {
+        $crate::__proptest_binds!($rng, $p: $t,);
+    };
+    ($rng:ident, $p:pat in $s:expr, $($rest:tt)*) => {
+        let $p = $crate::strategy::Strategy::generate(&($s), $rng);
+        $crate::__proptest_binds!($rng, $($rest)*);
+    };
+    ($rng:ident, $p:pat in $s:expr) => {
+        $crate::__proptest_binds!($rng, $p in $s,);
+    };
+}
+
+/// Assert a boolean condition inside a `proptest!` body; on failure the
+/// case is reported (with the persisted seed) instead of panicking
+/// immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {}: {}",
+                    stringify!($cond),
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+                    stringify!($left), stringify!($right), __l, __r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`: {}\n  left: `{:?}`\n right: `{:?}`",
+                    stringify!($left), stringify!($right), format!($($fmt)+), __l, __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: `{:?}`",
+                stringify!($left),
+                stringify!($right),
+                __l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! Per-type numeric strategies (`proptest::num::i64::ANY`, …).
+
+macro_rules! num_modules {
+    ($($m:ident => $t:ty),* $(,)?) => {$(
+        pub mod $m {
+            use crate::strategy::Any;
+
+            /// Whole-domain strategy for this type, edge-biased.
+            pub const ANY: Any<$t> = Any(core::marker::PhantomData);
+        }
+    )*};
+}
+
+num_modules! {
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => i8, i16 => i16, i32 => i32, i64 => i64, i128 => i128, isize => isize,
+}

@@ -1,0 +1,6 @@
+//! Everything a `use proptest::prelude::*;` consumer expects in scope.
+
+pub use crate::prop;
+pub use crate::strategy::{any, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,218 @@
+//! Case runner: configuration, failure/rejection plumbing, and persisted
+//! failing seeds (`proptest-regressions/`).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// A `prop_assert*` failed (or the body returned this directly).
+    Fail(String),
+    /// `prop_assume!` discarded the case; it is regenerated, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration; only `cases` is tunable (the `PROPTEST_CASES`
+/// environment variable overrides the default of 256).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of non-rejected cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Executes one property over `config.cases` generated cases, replaying
+/// persisted regression seeds first.
+pub struct TestRunner {
+    config: ProptestConfig,
+    source_file: &'static str,
+    test_name: &'static str,
+}
+
+impl TestRunner {
+    /// `source_file` is the invoking test's `file!()`; with `test_name`
+    /// it locates the `proptest-regressions/` entry for this property.
+    pub fn new(config: ProptestConfig, source_file: &'static str, test_name: &'static str) -> Self {
+        TestRunner { config, source_file, test_name }
+    }
+
+    /// Run the property. Panics (failing the surrounding `#[test]`) on the
+    /// first failing case, after persisting its seed.
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let store = RegressionStore::locate(self.source_file);
+
+        // 1. Replay seeds that failed in earlier runs.
+        if let Some(store) = &store {
+            for seed in store.seeds_for(self.test_name) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                if let Err(TestCaseError::Fail(msg)) = case(&mut rng) {
+                    panic!(
+                        "persisted regression still fails \
+                         (test `{}`, seed {seed}):\n{msg}",
+                        self.test_name,
+                    );
+                }
+            }
+        }
+
+        // 2. Fresh cases.
+        let base = self.base_seed();
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = (self.config.cases as u64).saturating_mul(10).max(100);
+        while passed < self.config.cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "test `{}`: prop_assume! rejected too many cases \
+                     ({} attempts for {} cases)",
+                    self.test_name, attempts, self.config.cases,
+                );
+            }
+            let seed = splitmix(base.wrapping_add(attempts));
+            let mut rng = StdRng::seed_from_u64(seed);
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    let persisted =
+                        store.as_ref().map(|s| s.persist(self.test_name, seed)).unwrap_or(false);
+                    let note =
+                        if persisted { "\n(seed persisted to proptest-regressions/)" } else { "" };
+                    panic!(
+                        "property failed (test `{}`, case {}/{}, seed {seed}):\n\
+                         {msg}{note}",
+                        self.test_name,
+                        passed + 1,
+                        self.config.cases,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Deterministic per-test seed by default so CI runs are stable;
+    /// `PROPTEST_RNG_SEED=<u64>` pins a specific stream and
+    /// `PROPTEST_RNG_SEED=random` explores a fresh one per run.
+    fn base_seed(&self) -> u64 {
+        match std::env::var("PROPTEST_RNG_SEED").ok().as_deref() {
+            Some("random") => {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0)
+                    ^ (std::process::id() as u64) << 32
+            }
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                panic!("PROPTEST_RNG_SEED must be a u64 or `random`, got {v:?}")
+            }),
+            None => {
+                // FNV-1a over file + test name.
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in self.source_file.bytes().chain(self.test_name.bytes()) {
+                    h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                h
+            }
+        }
+    }
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `proptest-regressions/<test file stem>.txt` next to the test source.
+/// Format: comment lines starting with `#`, then `<test name> seed=<u64>`
+/// lines. Best-effort: if the source file cannot be located from the
+/// current directory (tests run from the package root, `file!()` is
+/// workspace-relative), persistence is silently disabled.
+struct RegressionStore {
+    path: PathBuf,
+}
+
+impl RegressionStore {
+    fn locate(source_file: &str) -> Option<Self> {
+        let cwd = std::env::current_dir().ok()?;
+        // Walk up from the package root toward the workspace root.
+        for base in cwd.ancestors().take(4) {
+            let src = base.join(source_file);
+            if src.is_file() {
+                let dir = src.parent()?.join("proptest-regressions");
+                let stem = src.file_stem()?.to_str()?;
+                return Some(RegressionStore { path: dir.join(format!("{stem}.txt")) });
+            }
+        }
+        None
+    }
+
+    fn seeds_for(&self, test_name: &str) -> Vec<u64> {
+        let Ok(text) = fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let line = line.trim();
+                let rest = line.strip_prefix(test_name)?.trim();
+                rest.strip_prefix("seed=")?.parse().ok()
+            })
+            .collect()
+    }
+
+    fn persist(&self, test_name: &str, seed: u64) -> bool {
+        let fresh = !self.path.exists();
+        let Some(dir) = self.path.parent() else { return false };
+        if fs::create_dir_all(dir).is_err() {
+            return false;
+        }
+        let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(&self.path) else {
+            return false;
+        };
+        if fresh {
+            let _ = writeln!(
+                f,
+                "# Seeds for failing cases found by the vendored proptest shim.\n\
+                 # Each line is `<test name> seed=<u64>`; they are replayed before\n\
+                 # fresh cases on every run. Commit this file.",
+            );
+        }
+        writeln!(f, "{test_name} seed={seed}").is_ok()
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline vendored shim for the subset of the `rand` 0.8 API used by this
+//! workspace: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] over integer ranges.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the tiny slice of `rand` it needs instead of depending on the
+//! real crate. The generator is xoshiro256++ seeded through SplitMix64 —
+//! deterministic for a given seed on every platform, which is exactly the
+//! contract the seeded workload generators rely on. It is **not** the same
+//! stream as the real `StdRng` (ChaCha12), and it is not cryptographic.
+
+pub mod rngs;
+
+pub use rngs::StdRng;
+
+/// A source of random 64-bit words (the slice of `rand_core::RngCore` we
+/// need).
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts for output type `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let off = wide(rng) % span;
+                ((self.start as i128).wrapping_add(off as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128).wrapping_add(1);
+                // span == 0 means the full 128-bit range; impossible for
+                // the ≤64-bit types implemented here.
+                let off = wide(rng) % span;
+                ((lo as i128).wrapping_add(off as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeFrom<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                (self.start..=<$t>::MAX).sample_single(rng)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// 128 random bits, so modulo reduction over ≤64-bit spans has negligible
+/// bias.
+fn wide<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+    ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+}
+
+/// User-facing sampling methods, matching the `rand::Rng` calls this
+/// workspace makes.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open, inclusive, or from-only).
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p outside [0, 1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
