@@ -8,7 +8,7 @@ use hsched_core::formulations::build_ip3;
 fn bench_ip3_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("ip3_lp_solve");
     g.sample_size(10);
-    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6)] {
+    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6), (50, 20)] {
         let inst = fixtures::e10_instance(n, m, 7);
         // A horizon around the volume bound: the interesting regime.
         let t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;

@@ -8,7 +8,7 @@ use hsched_core::approx::two_approx;
 fn bench_two_approx(c: &mut Criterion) {
     let mut g = c.benchmark_group("two_approx");
     g.sample_size(10);
-    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6), (32, 8)] {
+    for (n, m) in [(8usize, 3usize), (16, 4), (24, 6), (32, 8), (50, 20)] {
         let inst = fixtures::e10_instance(n, m, 7);
         g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_m{m}")), &inst, |b, inst| {
             b.iter(|| std::hint::black_box(two_approx(inst)))

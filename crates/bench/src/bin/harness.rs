@@ -1,55 +1,138 @@
 //! The experiment harness: regenerates every evaluation table (E1–E10).
 //!
 //! Usage:
-//!   cargo run --release -p bench --bin harness           # all experiments
-//!   cargo run --release -p bench --bin harness e3 e5     # a subset
+//!   cargo run --release -p bench --bin harness                 # all, text
+//!   cargo run --release -p bench --bin harness e3 e5           # a subset
+//!   cargo run --release -p bench --bin harness --format csv    # CSV
+//!   cargo run --release -p bench --bin harness --format json   # JSON array
+//!   cargo run --release -p bench --bin harness all --format md --out experiments.generated.md
 //!
-//! EXPERIMENTS.md records a full run's output next to the paper's claims.
+//! EXPERIMENTS.md commits a full `--format md` run next to the paper's
+//! claims, together with the criterion perf baselines; every randomized
+//! table records its seed derivation inline.
+
+use std::io::Write;
 
 use bench::experiments as ex;
+use bench::Report;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Csv,
+    Json,
+    Md,
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let mut ids: Vec<String> = Vec::new();
+    let mut format = Format::Text;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" | "-f" => {
+                let v = args.next().unwrap_or_default();
+                format = match v.as_str() {
+                    "table" | "text" => Format::Text,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    "md" | "markdown" => Format::Md,
+                    other => {
+                        eprintln!("unknown format '{other}'; use table|csv|json|md");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" | "-o" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    let all = ids.is_empty() || ids.iter().any(|a| a == "all");
+    let want = |name: &str| all || ids.iter().any(|a| a == name);
 
-    let mut sections: Vec<String> = Vec::new();
+    let mut reports: Vec<Report> = Vec::new();
     if want("e1") {
-        sections.push(ex::e1());
+        reports.push(ex::e1());
     }
     if want("e2") {
-        sections.push(ex::e2(10));
+        reports.push(ex::e2(10));
     }
     if want("e3") {
-        sections.push(ex::e3(5));
+        reports.push(ex::e3(5));
     }
     if want("e4") {
-        sections.push(ex::e4(8));
+        reports.push(ex::e4(8));
     }
     if want("e5") {
-        sections.push(ex::e5(3));
+        reports.push(ex::e5(3));
     }
     if want("e6") {
-        sections.push(ex::e6(6));
+        reports.push(ex::e6(6));
     }
     if want("e7") {
-        sections.push(ex::e7(4));
+        reports.push(ex::e7(4));
     }
     if want("e8") {
-        sections.push(ex::e8(6));
+        reports.push(ex::e8(6));
     }
     if want("e9") {
-        sections.push(ex::e9(2));
+        reports.push(ex::e9(2));
     }
     if want("e10") {
-        sections.push(ex::e10());
+        reports.push(ex::e10());
     }
-    if sections.is_empty() {
+    if reports.is_empty() {
         eprintln!("unknown experiment id; use e1..e10 or all");
         std::process::exit(2);
     }
-    for s in sections {
-        println!("{s}");
-        println!("{}", "=".repeat(78));
+
+    let rendered = render(&reports, format);
+    match out_path {
+        None => print!("{rendered}"),
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(rendered.as_bytes()).expect("write output");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+fn render(reports: &[Report], format: Format) -> String {
+    match format {
+        Format::Text => {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.render_text());
+                out.push_str(&format!("{}\n", "=".repeat(78)));
+            }
+            out
+        }
+        Format::Csv => {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.render_csv());
+                out.push('\n');
+            }
+            out
+        }
+        Format::Json => {
+            let body = reports.iter().map(Report::render_json).collect::<Vec<_>>().join(",\n  ");
+            format!("[\n  {body}\n]\n")
+        }
+        Format::Md => {
+            let mut out = String::new();
+            for r in reports {
+                out.push_str(&r.render_md());
+                out.push('\n');
+            }
+            out
+        }
     }
 }

@@ -4,13 +4,17 @@
 //! The paper is theory-only (no empirical tables/figures); DESIGN.md §4
 //! defines the synthetic evaluation E1–E10, each reproducing a theorem,
 //! proposition, worked example, or claim. `cargo run -p bench --bin
-//! harness [--release] [e1 … e10 | all]` prints the tables; the Criterion
-//! benches under `benches/` cover the runtime claims.
+//! harness [--release] [e1 … e10 | all] [--format table|csv|json|md]
+//! [--out FILE]` renders the tables; the Criterion benches under
+//! `benches/` cover the runtime claims. Every experiment is a
+//! [`Report`] — a structured table plus the seed specification that
+//! regenerates it — so the same run can be rendered as an aligned text
+//! table, CSV, JSON, or the Markdown committed in EXPERIMENTS.md.
 
 pub mod experiments;
 pub mod fixtures;
 
-/// Minimal fixed-width table printer used by the harness output.
+/// Minimal fixed-width table used by the harness output.
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -26,6 +30,16 @@ impl Table {
     pub fn row(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// Render with aligned columns.
@@ -57,17 +71,185 @@ impl Table {
     }
 }
 
+/// One experiment's structured result: an identifier, a caption, the
+/// result table, free-form notes, and the seed specification that makes
+/// the numbers reproducible.
+pub struct Report {
+    /// Experiment id (`"e1"` … `"e10"`).
+    pub id: &'static str,
+    /// One-line caption (paper claim being reproduced).
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// Trailing commentary lines.
+    pub notes: Vec<String>,
+    /// How the instance seeds were derived, recorded next to the results
+    /// so every row can be regenerated.
+    pub seeds: String,
+}
+
+impl Report {
+    /// A report with no notes and a seed spec to be filled in.
+    pub fn new(id: &'static str, title: impl Into<String>, table: Table) -> Self {
+        Report { id, title: title.into(), table, notes: Vec::new(), seeds: "none".into() }
+    }
+
+    /// Append a commentary line.
+    pub fn note(mut self, s: impl Into<String>) -> Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Record the seed derivation.
+    pub fn seeds(mut self, s: impl Into<String>) -> Self {
+        self.seeds = s.into();
+        self
+    }
+
+    /// The classic harness rendering: caption, aligned table, notes.
+    pub fn render_text(&self) -> String {
+        let mut out = format!("{}  {}\n\n", self.id.to_uppercase(), self.title);
+        out.push_str(&self.table.render());
+        out.push_str(&format!("\nseeds: {}\n", self.seeds));
+        for n in &self.notes {
+            out.push_str(&format!("{n}\n"));
+        }
+        out
+    }
+
+    /// CSV: `#`-prefixed metadata lines, then header and data rows.
+    pub fn render_csv(&self) -> String {
+        let mut out = format!("# {} {}\n# seeds: {}\n", self.id, self.title, self.seeds);
+        let esc = |c: &String| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        out.push_str(&self.table.headers().iter().map(esc).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in self.table.rows() {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A single JSON object (hand-rolled; the workspace is offline and
+    /// dependency-free).
+    pub fn render_json(&self) -> String {
+        let arr = |cells: &[String]| {
+            format!("[{}]", cells.iter().map(|c| json_string(c)).collect::<Vec<_>>().join(","))
+        };
+        let notes = format!(
+            "[{}]",
+            self.notes.iter().map(|n| json_string(n)).collect::<Vec<_>>().join(",")
+        );
+        format!(
+            "{{\"id\":{},\"title\":{},\"seeds\":{},\"headers\":{},\"rows\":[{}],\"notes\":{notes}}}",
+            json_string(self.id),
+            json_string(&self.title),
+            json_string(&self.seeds),
+            arr(self.table.headers()),
+            self.table.rows().iter().map(|r| arr(r)).collect::<Vec<_>>().join(","),
+        )
+    }
+
+    /// GitHub-flavoured Markdown section (the EXPERIMENTS.md format).
+    pub fn render_md(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id.to_uppercase(), self.title);
+        out.push_str(&format!("| {} |\n", self.table.headers().join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.table.headers().iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in self.table.rows() {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push_str(&format!("\n*seeds: {}*\n", self.seeds));
+        for n in &self.notes {
+            out.push_str(&format!("\n{}\n", n.trim_end()));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn table_renders_aligned() {
+    fn sample() -> Report {
         let mut t = Table::new(&["n", "value"]);
         t.row(vec!["3".into(), "1.5".into()]);
         t.row(vec!["100".into(), "1.8889".into()]);
-        let s = t.render();
+        Report::new("e0", "sample \"quoted\" title", t)
+            .note("a note")
+            .seeds("seed = k*7 for k in 0..2")
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = sample().table.render();
         assert!(s.contains("  n   value"));
         assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn text_has_caption_seeds_and_notes() {
+        let s = sample().render_text();
+        assert!(s.starts_with("E0  sample"));
+        assert!(s.contains("seeds: seed = k*7"));
+        assert!(s.contains("a note"));
+    }
+
+    #[test]
+    fn csv_shape() {
+        let s = sample().render_csv();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("# e0 "));
+        assert!(lines[1].starts_with("# seeds:"));
+        assert_eq!(lines[2], "n,value");
+        assert_eq!(lines[3], "3,1.5");
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        let s = sample().render_json();
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.contains("\"headers\":[\"n\",\"value\"]"));
+        assert!(s.contains("\"rows\":[[\"3\",\"1.5\"],[\"100\",\"1.8889\"]]"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn md_table_shape() {
+        let s = sample().render_md();
+        assert!(s.contains("### E0 —"));
+        assert!(s.contains("| n | value |"));
+        assert!(s.contains("|---|---|"));
+        assert!(s.contains("*seeds: seed = k*7 for k in 0..2*"));
     }
 }

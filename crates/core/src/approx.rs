@@ -16,7 +16,7 @@ use lp::{LinearProgram, LpStatus, Relation};
 use numeric::Q;
 
 use crate::assignment::Assignment;
-use crate::formulations::build_ip3;
+use crate::formulations::Ip3Probe;
 use crate::hier::schedule_hierarchical;
 use crate::instance::Instance;
 use crate::lst::{lst_assign, lst_binary_search};
@@ -96,23 +96,26 @@ pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoAppro
         }
         TwoApproxMethod::PushDown => {
             // Oracle: hierarchical LP of (IP-3); by Lemma V.1 its minimal
-            // feasible T equals the singleton LP's. The push-down is run
-            // at each feasible probe to produce the singleton witness the
-            // theorem's proof describes (and tests assert its validity).
-            let feasible = |t: u64| -> bool {
-                match build_ip3(&completed, t) {
+            // feasible T equals the singleton LP's. Probes re-solve
+            // incrementally from the previous optimal basis (Ip3Probe +
+            // solve_warm); the push-down is run at each feasible probe to
+            // produce the singleton witness the theorem's proof describes
+            // (and tests assert its validity).
+            let mut probe = Ip3Probe::new(&completed);
+            let mut feasible = |t: u64| -> bool {
+                match probe.solve(t) {
                     None => false,
-                    Some((lp, vm)) => {
-                        let sol = lp.solve();
-                        if sol.status != LpStatus::Optimal {
-                            return false;
-                        }
-                        let mut x = sol.values;
+                    Some(mut x) => {
                         let tq = Q::from(t);
-                        push_down_all(&completed, &vm, &mut x, &tq)
+                        push_down_all(&completed, probe.varmap(), &mut x, &tq)
                             .expect("feasible solutions push down");
-                        debug_assert!(is_fractionally_feasible(&completed, &vm, &x, &tq));
-                        debug_assert!(supported_on_singletons(&completed, &vm, &x));
+                        debug_assert!(is_fractionally_feasible(
+                            &completed,
+                            probe.varmap(),
+                            &x,
+                            &tq
+                        ));
+                        debug_assert!(supported_on_singletons(&completed, probe.varmap(), &x));
                         true
                     }
                 }

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use lp::{LinearProgram, Relation};
+use lp::{LinearProgram, LpStatus, Relation};
 use numeric::Q;
 
 use crate::assignment::Assignment;
@@ -91,6 +91,92 @@ pub fn build_ip3(instance: &Instance, t: u64) -> Option<(LinearProgram, VarMap)>
         lp.add_constraint(coeffs, Relation::Le, cap);
     }
     Some((lp, vm))
+}
+
+/// Warm-started feasibility oracle for the LP relaxation of (IP-3) —
+/// the hot path of every binary search on the horizon `T`.
+///
+/// Unlike [`build_ip3`], the variable layout is *fixed* across horizons:
+/// one variable per finite `(α, j)` pair regardless of `t`. Pairs with
+/// `p_{αj} > t` are omitted from every constraint of that probe, which is
+/// feasibility-equivalent to the pruned program (a variable appearing in
+/// no constraint never carries weight at a returned vertex). The fixed
+/// layout is what lets consecutive probes reuse the previous optimal
+/// basis via [`LinearProgram::solve_warm`] instead of re-running the
+/// two-phase simplex from scratch.
+pub struct Ip3Probe<'a> {
+    instance: &'a Instance,
+    vm: VarMap,
+    basis: Option<Vec<usize>>,
+}
+
+impl<'a> Ip3Probe<'a> {
+    /// A probe for `instance` with an empty warm-start state.
+    pub fn new(instance: &'a Instance) -> Self {
+        let mut pairs = Vec::new();
+        for a in 0..instance.family().len() {
+            for j in 0..instance.num_jobs() {
+                if instance.ptime(j, a).is_some() {
+                    pairs.push((a, j));
+                }
+            }
+        }
+        Ip3Probe { instance, vm: VarMap::new(pairs), basis: None }
+    }
+
+    /// The fixed variable layout (all finite pairs, pruned or not).
+    pub fn varmap(&self) -> &VarMap {
+        &self.vm
+    }
+
+    /// Build the fixed-layout decision LP at horizon `t`.
+    pub fn build(&self, t: u64) -> LinearProgram {
+        let instance = self.instance;
+        let mut lp = LinearProgram::new(self.vm.len());
+        // Assignment rows; a job with every pair pruned gets an empty
+        // `0 = 1` row, the fixed-layout encoding of `build_ip3 == None`.
+        for j in 0..instance.num_jobs() {
+            let coeffs: Vec<(usize, Q)> = (0..instance.family().len())
+                .filter(|&a| instance.ptime(j, a).is_some_and(|p| p <= t))
+                .map(|a| (self.vm.var(a, j).expect("finite pair in layout"), Q::one()))
+                .collect();
+            lp.add_constraint(coeffs, Relation::Eq, Q::one());
+        }
+        // Capacity rows (3a), one per set at every probe (fixed row count
+        // keeps the slack-column layout aligned across horizons).
+        for a in 0..instance.family().len() {
+            let mut coeffs: Vec<(usize, Q)> = Vec::new();
+            for b in instance.subsets_of(a) {
+                for j in 0..instance.num_jobs() {
+                    if let Some(p) = instance.ptime(j, b) {
+                        if p <= t {
+                            let v = self.vm.var(b, j).expect("finite pair in layout");
+                            coeffs.push((v, Q::from(p)));
+                        }
+                    }
+                }
+            }
+            let cap = Q::from(instance.family().set(a).len() as u64) * Q::from(t);
+            lp.add_constraint(coeffs, Relation::Le, cap);
+        }
+        lp
+    }
+
+    /// Feasibility at horizon `t`; on success returns a vertex of the
+    /// relaxation (support only on pairs with `p ≤ t`) and remembers the
+    /// optimal basis for the next probe.
+    pub fn solve(&mut self, t: u64) -> Option<Vec<Q>> {
+        let lp = self.build(t);
+        let sol = match &self.basis {
+            Some(b) => lp.solve_warm(b),
+            None => lp.solve(),
+        };
+        if sol.status != LpStatus::Optimal {
+            return None;
+        }
+        self.basis = Some(sol.basis.clone());
+        Some(sol.values)
+    }
 }
 
 /// Fractional lower-bound LP for horizon `t` (Lawler–Labetoulle-style):

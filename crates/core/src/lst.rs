@@ -175,19 +175,97 @@ pub fn lst_assign(p: &[Vec<Option<u64>>], m: usize, t: u64) -> Option<LstAssignm
     Some(LstAssignment { machine_of, fallback_used, fractional })
 }
 
+/// Warm-started feasibility oracle for the pruned unrelated-machines LP
+/// at varying horizons — the hot loop of [`lst_binary_search`].
+///
+/// The variable layout is *fixed*: one variable per finite `(job,
+/// machine)` pair, with pairs pruned at a given `t` simply omitted from
+/// that probe's constraints (feasibility-equivalent to the pruned LP of
+/// [`lst_assign`]). Consecutive probes reuse the previous optimal basis
+/// via [`LinearProgram::solve_warm`], so a binary search re-solves
+/// incrementally instead of from scratch.
+pub struct LstProbe<'a> {
+    p: &'a [Vec<Option<u64>>],
+    m: usize,
+    pairs: Vec<(usize, usize)>,
+    basis: Option<Vec<usize>>,
+}
+
+impl<'a> LstProbe<'a> {
+    /// A probe over `p` (`n × m`, `None` = inadmissible pair).
+    pub fn new(p: &'a [Vec<Option<u64>>], m: usize) -> Self {
+        let mut pairs = Vec::new();
+        for (j, row) in p.iter().enumerate() {
+            assert_eq!(row.len(), m, "p must be n × m");
+            for (i, time) in row.iter().enumerate() {
+                if time.is_some() {
+                    pairs.push((j, i));
+                }
+            }
+        }
+        LstProbe { p, m, pairs, basis: None }
+    }
+
+    /// Is the pruned LP feasible at horizon `t`? Returns exactly
+    /// `lst_assign(p, m, t).is_some()`, computed incrementally.
+    pub fn feasible(&mut self, t: u64) -> bool {
+        let n = self.p.len();
+        if n == 0 {
+            return true;
+        }
+        // Early out: some job has every pair pruned.
+        if self.p.iter().any(|row| !row.iter().flatten().any(|&time| time <= t)) {
+            return false;
+        }
+        let mut by_job: Vec<Vec<(usize, Q)>> = vec![Vec::new(); n];
+        let mut by_machine: Vec<Vec<(usize, Q)>> = vec![Vec::new(); self.m];
+        for (v, &(j, i)) in self.pairs.iter().enumerate() {
+            let time = self.p[j][i].expect("pair is finite");
+            if time <= t {
+                by_job[j].push((v, Q::one()));
+                by_machine[i].push((v, Q::from(time)));
+            }
+        }
+        let mut lp = LinearProgram::new(self.pairs.len());
+        for coeffs in by_job {
+            lp.add_constraint(coeffs, Relation::Eq, Q::one());
+        }
+        // One capacity row per machine at every probe (possibly empty):
+        // a fixed row count keeps slack columns aligned across horizons.
+        for coeffs in by_machine {
+            lp.add_constraint(coeffs, Relation::Le, Q::from(t));
+        }
+        let sol = match &self.basis {
+            Some(b) => lp.solve_warm(b),
+            None => lp.solve(),
+        };
+        if sol.status != LpStatus::Optimal {
+            return false;
+        }
+        self.basis = Some(sol.basis);
+        true
+    }
+}
+
 /// Binary-search the minimal integral `t` for which the pruned LP is
 /// feasible (the LST deadline `T*`), between `lo` and `hi` inclusive.
 /// Returns the minimal feasible `t` and its rounding.
+///
+/// The probes run through the warm-started [`LstProbe`]; only the final
+/// rounding at the minimal `t` solves cold (so the returned vertex — and
+/// hence the rounded assignment — is identical to the unsearched
+/// `lst_assign(p, m, t*)`).
 pub fn lst_binary_search(
     p: &[Vec<Option<u64>>],
     m: usize,
     mut lo: u64,
     mut hi: u64,
 ) -> Option<(u64, LstAssignment)> {
+    let mut probe = LstProbe::new(p, m);
     // Ensure hi is feasible; expand geometrically if the caller's bound
     // was too tight.
     let mut guard = 0;
-    while lst_assign(p, m, hi).is_none() {
+    while !probe.feasible(hi) {
         hi = hi.saturating_mul(2).max(1);
         guard += 1;
         if guard > 64 {
@@ -199,7 +277,7 @@ pub fn lst_binary_search(
     }
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if lst_assign(p, m, mid).is_some() {
+        if probe.feasible(mid) {
             hi = mid;
         } else {
             lo = mid + 1;

@@ -213,21 +213,21 @@ mod tests {
         let fam = topology::clustered(2, 2);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
         let inst = Instance::from_fn(fam, 6, |j, a| Some(2 + (j % 2) as u64 + sizes[a])).unwrap();
-        // Find a feasible T for the LP.
+        // Find a feasible T via the warm-started probe (each retry
+        // re-solves from the previous basis).
+        let mut probe = crate::formulations::Ip3Probe::new(&inst);
         let mut t = inst.bottleneck_lower_bound().max(inst.volume_lower_bound());
-        let (vm, mut x, tq) = loop {
-            if let Some((lp, vm)) = build_ip3(&inst, t) {
-                let sol = lp.solve();
-                if sol.status == LpStatus::Optimal {
-                    break (vm, sol.values, Q::from(t));
-                }
+        let (mut x, tq) = loop {
+            if let Some(x) = probe.solve(t) {
+                break (x, Q::from(t));
             }
             t += 1;
         };
-        assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
-        push_down_all(&inst, &vm, &mut x, &tq).unwrap();
-        assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
-        assert!(supported_on_singletons(&inst, &vm, &x));
+        let vm = probe.varmap();
+        assert!(is_fractionally_feasible(&inst, vm, &x, &tq));
+        push_down_all(&inst, vm, &mut x, &tq).unwrap();
+        assert!(is_fractionally_feasible(&inst, vm, &x, &tq));
+        assert!(supported_on_singletons(&inst, vm, &x));
     }
 
     #[test]
@@ -267,18 +267,16 @@ mod tests {
         let fam = topology::smp_cmp(&[2, 2]);
         let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
         let inst = Instance::from_fn(fam, 5, |j, a| Some(1 + j as u64 % 3 + sizes[a] / 2)).unwrap();
+        let mut probe = crate::formulations::Ip3Probe::new(&inst);
         let mut t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound());
         loop {
-            if let Some((lp, vm)) = build_ip3(&inst, t) {
-                let sol = lp.solve();
-                if sol.status == LpStatus::Optimal {
-                    let tq = Q::from(t);
-                    let mut x = sol.values;
-                    push_down_all(&inst, &vm, &mut x, &tq).unwrap();
-                    assert!(is_fractionally_feasible(&inst, &vm, &x, &tq));
-                    assert!(supported_on_singletons(&inst, &vm, &x));
-                    break;
-                }
+            if let Some(mut x) = probe.solve(t) {
+                let tq = Q::from(t);
+                let vm = probe.varmap();
+                push_down_all(&inst, vm, &mut x, &tq).unwrap();
+                assert!(is_fractionally_feasible(&inst, vm, &x, &tq));
+                assert!(supported_on_singletons(&inst, vm, &x));
+                break;
             }
             t += 1;
         }

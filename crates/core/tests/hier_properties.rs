@@ -2,7 +2,7 @@
 //! complements the root-level suite which focuses on the semi-partitioned
 //! case.
 
-use hsched_core::approx::two_approx;
+use hsched_core::approx::{two_approx, two_approx_with, TwoApproxMethod};
 use hsched_core::hier::{allocate_loads, schedule_hierarchical, shared_machines};
 use hsched_core::lst::{lst_assign, lst_binary_search};
 use hsched_core::memory::{model1_lp_t_star, model1_round, MemoryModel1};
@@ -10,6 +10,60 @@ use hsched_core::{Assignment, Instance};
 use laminar::topology;
 use numeric::Q;
 use proptest::prelude::*;
+
+/// Golden regression for the LP-core swap (sparse + warm-started simplex,
+/// i128 fast-path rationals): `two_approx`/`two_approx_with` must return
+/// *bit-identical* `t_star` and makespan on these fixed-seed workloads.
+/// The expected values were captured from the seed (dense-solver,
+/// pure-BigInt) implementation; any divergence means the new LP core
+/// changed an answer, not just its speed.
+#[test]
+fn golden_two_approx_unchanged_by_solver_swap() {
+    let cases: [(usize, usize, u64, u64, i64); 3] =
+        [(8, 3, 7, 26, 31), (12, 4, 11, 42, 56), (10, 5, 13, 21, 27)];
+    for (n, m, seed, want_t, want_mk) in cases {
+        let inst = workloads::random::overhead_instance(
+            topology::semi_partitioned(m),
+            n,
+            1,
+            20,
+            1,
+            4,
+            &mut workloads::rng(seed),
+        );
+        for method in [TwoApproxMethod::DirectSingleton, TwoApproxMethod::PushDown] {
+            let res = two_approx_with(&inst, method);
+            assert_eq!(res.t_star, want_t, "t* drifted: n{n} m{m} seed{seed} {method:?}");
+            assert_eq!(
+                res.makespan,
+                Q::from_int(want_mk),
+                "makespan drifted: n{n} m{m} seed{seed} {method:?}"
+            );
+        }
+    }
+}
+
+/// Same golden lock on multi-level (clustered) topologies.
+#[test]
+fn golden_two_approx_clustered_unchanged() {
+    let cases: [(usize, usize, u64, u64, i64); 2] = [(2, 2, 3, 14, 19), (2, 3, 5, 9, 15)];
+    for (k, q, seed, want_t, want_mk) in cases {
+        let inst = workloads::random::overhead_instance(
+            topology::clustered(k, q),
+            9,
+            1,
+            9,
+            1,
+            3,
+            &mut workloads::rng(seed),
+        );
+        for method in [TwoApproxMethod::DirectSingleton, TwoApproxMethod::PushDown] {
+            let res = two_approx_with(&inst, method);
+            assert_eq!(res.t_star, want_t, "t* drifted: {k}x{q} seed{seed} {method:?}");
+            assert_eq!(res.makespan, Q::from_int(want_mk), "makespan drifted: {k}x{q} seed{seed}");
+        }
+    }
+}
 
 /// Strategy: a clustered instance with monotone overhead times and a
 /// random (but feasible-by-construction) assignment over any set level.

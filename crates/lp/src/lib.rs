@@ -25,10 +25,11 @@
 mod bnb;
 mod problem;
 mod simplex;
+mod sparse;
 
 pub use bnb::{solve_binary, BnbOptions, MilpSolution, MilpStatus};
 pub use problem::{Constraint, LinearProgram, Relation};
-pub use simplex::{LpSolution, LpStatus};
+pub use simplex::{LpSolution, LpStatus, Solver};
 
 #[cfg(test)]
 mod tests {

@@ -41,7 +41,7 @@ pub struct LpSolution {
 }
 
 impl LpSolution {
-    fn failed(status: LpStatus, num_vars: usize) -> Self {
+    pub(crate) fn failed(status: LpStatus, num_vars: usize) -> Self {
         LpSolution {
             status,
             objective_value: Q::zero(),
@@ -105,7 +105,7 @@ trait IsOneLike {
 
 impl IsOneLike for Q {
     fn is_one_like(&self) -> bool {
-        self.is_integer() && self.numer().to_i64() == Some(1)
+        self.is_one()
     }
 }
 
@@ -175,12 +175,42 @@ fn run_phase(t: &mut Tableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> Ph
     }
 }
 
+/// Which simplex implementation to run; both are exact and follow the
+/// same Bland pivoting rules, so they return *identical* solutions.
+///
+/// [`Sparse`](Solver::Sparse) is the production solver (sparse rows, no
+/// dense tableau); [`Dense`](Solver::Dense) is the original reference
+/// implementation, kept for the differential test suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Solver {
+    /// Dense two-phase tableau (reference implementation).
+    Dense,
+    /// Sparse-row two-phase tableau (default).
+    #[default]
+    Sparse,
+}
+
 impl LinearProgram {
     /// Solve the program exactly with two-phase primal simplex.
     ///
     /// Returns a basic feasible (vertex) solution when the status is
     /// [`LpStatus::Optimal`]. Termination is guaranteed by Bland's rule.
+    /// Runs the default (sparse) solver; see [`Solver`] and
+    /// [`solve_with`](Self::solve_with).
     pub fn solve(&self) -> LpSolution {
+        self.solve_with(Solver::default())
+    }
+
+    /// [`solve`](Self::solve) with an explicit implementation choice.
+    pub fn solve_with(&self, solver: Solver) -> LpSolution {
+        match solver {
+            Solver::Dense => self.solve_dense(),
+            Solver::Sparse => self.solve_sparse(),
+        }
+    }
+
+    /// Solve with the dense reference implementation.
+    pub(crate) fn solve_dense(&self) -> LpSolution {
         let n = self.num_vars;
         let m = self.constraints.len();
 

@@ -1,0 +1,626 @@
+//! Sparse-row exact simplex: the production LP solver.
+//!
+//! The paper's decision LPs ((IP-3) and the singleton/unrelated LP of the
+//! Lenstra–Shmoys–Tardos rounding) are extremely sparse — a job row
+//! touches only that job's admissible pairs, a capacity row only one
+//! machine's pairs — while the dense reference tableau carries
+//! `rows × cols` rationals, almost all of them zero. This module stores
+//! each row as a sorted `(column, value)` list and provides:
+//!
+//! * [`LinearProgram::solve_sparse`] — a *pivot-identical* port of the
+//!   dense two-phase algorithm in [`simplex`](crate::simplex): the same
+//!   row assembly, the same Bland entering rule, the same ratio-test
+//!   tie-break, the same artificial-cleanup order. Exact arithmetic makes
+//!   the two implementations agree not just on the status and objective
+//!   but on every returned vertex, which the differential tests assert.
+//! * [`LinearProgram::solve_warm`] — warm-started solve from a *basis
+//!   hint* (typically the optimal basis of the previous probe in a binary
+//!   search on the horizon `T`). The hinted columns are crashed into the
+//!   basis by exact Gaussian elimination — no artificial variables at
+//!   all — then a zero-objective dual-simplex loop repairs primal
+//!   feasibility (any basis is dual-feasible for a feasibility probe),
+//!   and a final primal phase optimizes the real objective. When the
+//!   hint is close to optimal for the new right-hand side this does a
+//!   handful of pivots instead of a full two-phase solve.
+
+use numeric::Q;
+
+use crate::problem::{LinearProgram, Relation};
+use crate::simplex::{LpSolution, LpStatus};
+
+/// A sparse row: nonzero entries sorted by column index.
+type SRow = Vec<(usize, Q)>;
+
+/// Entry at `col`, if nonzero.
+#[inline]
+fn sget(row: &SRow, col: usize) -> Option<&Q> {
+    row.binary_search_by_key(&col, |e| e.0).ok().map(|i| &row[i].1)
+}
+
+/// `a - factor·p` as a fresh sorted row (the simplex elimination step).
+fn row_sub_scaled(a: &SRow, factor: &Q, p: &SRow) -> SRow {
+    let mut out: SRow = Vec::with_capacity(a.len() + p.len());
+    let (mut i, mut k) = (0usize, 0usize);
+    while i < a.len() && k < p.len() {
+        let (ca, cp) = (a[i].0, p[k].0);
+        if ca < cp {
+            out.push(a[i].clone());
+            i += 1;
+        } else if ca > cp {
+            let v = factor.clone() * p[k].1.clone();
+            out.push((cp, -v));
+            k += 1;
+        } else {
+            let v = a[i].1.clone() - factor.clone() * p[k].1.clone();
+            if !v.is_zero() {
+                out.push((ca, v));
+            }
+            i += 1;
+            k += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    for e in &p[k..] {
+        out.push((e.0, -(factor.clone() * e.1.clone())));
+    }
+    out
+}
+
+struct SparseTableau {
+    rows: Vec<SRow>,
+    /// Right-hand sides. Cold solves keep `b[i] ≥ 0`; the warm crash may
+    /// go negative until the dual loop repairs it.
+    b: Vec<Q>,
+    /// Basic column per row (identity column of that row).
+    basis: Vec<usize>,
+    cols: usize,
+}
+
+impl SparseTableau {
+    fn entry(&self, row: usize, col: usize) -> Option<&Q> {
+        sget(&self.rows[row], col)
+    }
+
+    /// Pivot on `(row, col)`: make `col` the identity column of `row`.
+    /// The pivot element may have either sign (warm crash needs both);
+    /// it must be nonzero.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.entry(row, col).expect("pivot element must be nonzero").clone();
+        if !piv.is_one() {
+            let inv = piv.recip();
+            for e in self.rows[row].iter_mut() {
+                e.1 = e.1.clone() * inv.clone();
+            }
+            self.b[row] = self.b[row].clone() * inv;
+        }
+        let pivot_row = std::mem::take(&mut self.rows[row]);
+        let pivot_b = self.b[row].clone();
+        for k in 0..self.rows.len() {
+            if k == row {
+                continue;
+            }
+            let Some(factor) = sget(&self.rows[k], col).cloned() else { continue };
+            self.rows[k] = row_sub_scaled(&self.rows[k], &factor, &pivot_row);
+            self.b[k] = self.b[k].clone() - factor * pivot_b.clone();
+        }
+        self.rows[row] = pivot_row;
+        self.basis[row] = col;
+    }
+
+    /// Negate an entire row (used before pivoting on a negative entry in
+    /// the artificial-cleanup step, mirroring the dense implementation).
+    fn negate_row(&mut self, row: usize) {
+        for e in self.rows[row].iter_mut() {
+            e.1 = -e.1.clone();
+        }
+        self.b[row] = -self.b[row].clone();
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Primal simplex phase minimizing `cost`, entering only `allowed`
+/// columns; Bland's rule throughout. A line-for-line port of the dense
+/// `run_phase` over sparse rows.
+fn run_phase(t: &mut SparseTableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> PhaseOutcome {
+    // Reduced cost row r[j] = c[j] - c_B · A_j.
+    let mut r: Vec<Q> = cost.to_vec();
+    for (i, &bcol) in t.basis.iter().enumerate() {
+        let cb = cost[bcol].clone();
+        if cb.is_zero() {
+            continue;
+        }
+        for (j, v) in &t.rows[i] {
+            r[*j] = r[*j].clone() - cb.clone() * v.clone();
+        }
+    }
+    loop {
+        // Bland: entering = smallest allowed index with negative reduced cost.
+        let mut enter = None;
+        for (j, rj) in r.iter().enumerate() {
+            if allowed(j) && rj.is_negative() {
+                enter = Some(j);
+                break;
+            }
+        }
+        let Some(enter) = enter else {
+            return PhaseOutcome::Optimal;
+        };
+        // Ratio test; Bland tie-break on smallest basic column index.
+        let mut leave: Option<(usize, Q)> = None;
+        for i in 0..t.rows.len() {
+            let Some(a) = t.entry(i, enter) else { continue };
+            if !a.is_positive() {
+                continue;
+            }
+            let ratio = t.b[i].clone() / a.clone();
+            match &leave {
+                None => leave = Some((i, ratio)),
+                Some((best_i, best)) => {
+                    if ratio < *best || (ratio == *best && t.basis[i] < t.basis[*best_i]) {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        let Some((leave_row, _)) = leave else {
+            return PhaseOutcome::Unbounded;
+        };
+        t.pivot(leave_row, enter);
+        // Update reduced costs: r -= r[enter] * (pivoted row of `leave_row`).
+        let factor = r[enter].clone();
+        if !factor.is_zero() {
+            for (j, v) in &t.rows[leave_row] {
+                r[*j] = r[*j].clone() - factor.clone() * v.clone();
+            }
+        }
+    }
+}
+
+/// Rows in normalized sparse form: `b ≥ 0` with relations flipped
+/// accordingly — identical to the dense assembly.
+fn assemble(lp: &LinearProgram) -> (Vec<SRow>, Vec<Relation>, Vec<Q>) {
+    let n = lp.num_vars;
+    let m = lp.constraints.len();
+    let mut rows: Vec<SRow> = Vec::with_capacity(m);
+    let mut rels: Vec<Relation> = Vec::with_capacity(m);
+    let mut rhs: Vec<Q> = Vec::with_capacity(m);
+    let mut dense_scratch: Vec<Q> = vec![Q::zero(); n];
+    for c in &lp.constraints {
+        // Sum duplicate indices via a scratch accumulator, then collect
+        // the nonzeros in column order.
+        let mut touched: Vec<usize> = Vec::with_capacity(c.coeffs.len());
+        for (idx, coef) in &c.coeffs {
+            if dense_scratch[*idx].is_zero() {
+                touched.push(*idx);
+            }
+            dense_scratch[*idx] += coef.clone();
+        }
+        touched.sort_unstable();
+        let negate = c.rhs.is_negative();
+        let mut row: SRow = Vec::with_capacity(touched.len());
+        for idx in touched {
+            let v = std::mem::take(&mut dense_scratch[idx]);
+            if v.is_zero() {
+                continue;
+            }
+            row.push((idx, if negate { -v } else { v }));
+        }
+        let (rel, b) = if negate {
+            let rel = match c.rel {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+            (rel, -c.rhs.clone())
+        } else {
+            (c.rel, c.rhs.clone())
+        };
+        rows.push(row);
+        rels.push(rel);
+        rhs.push(b);
+    }
+    (rows, rels, rhs)
+}
+
+impl LinearProgram {
+    /// Sparse two-phase solve; pivot-identical to the dense reference.
+    pub(crate) fn solve_sparse(&self) -> LpSolution {
+        let n = self.num_vars;
+        let (srows, rels, rhs) = assemble(self);
+        let m = srows.len();
+
+        // --- Column layout: structural | slacks/surplus | artificials. --
+        let n_slack = rels.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let slack_start = n;
+        let art_start = n + n_slack;
+        let n_art = rels.iter().filter(|r| matches!(r, Relation::Ge | Relation::Eq)).count();
+        let cols = art_start + n_art;
+
+        let mut t =
+            SparseTableau { rows: Vec::with_capacity(m), b: rhs, basis: vec![usize::MAX; m], cols };
+        let mut next_slack = slack_start;
+        let mut next_art = art_start;
+        for (i, mut row) in srows.into_iter().enumerate() {
+            match rels[i] {
+                Relation::Le => {
+                    row.push((next_slack, Q::one()));
+                    t.basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row.push((next_slack, -Q::one()));
+                    next_slack += 1;
+                    row.push((next_art, Q::one()));
+                    t.basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    row.push((next_art, Q::one()));
+                    t.basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+            t.rows.push(row);
+        }
+
+        // --- Phase 1: minimize sum of artificials. -----------------------
+        if n_art > 0 {
+            let mut phase1_cost = vec![Q::zero(); cols];
+            for c in phase1_cost.iter_mut().skip(art_start) {
+                *c = Q::one();
+            }
+            match run_phase(&mut t, &phase1_cost, &|_| true) {
+                PhaseOutcome::Unbounded => {
+                    unreachable!("phase-1 objective is bounded below by 0")
+                }
+                PhaseOutcome::Optimal => {}
+            }
+            let infeas: Q = Q::sum(
+                t.basis
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b >= art_start)
+                    .map(|(i, _)| &t.b[i])
+                    .collect::<Vec<_>>(),
+            );
+            if infeas.is_positive() {
+                return LpSolution::failed(LpStatus::Infeasible, n);
+            }
+            // Drive remaining (degenerate, zero-valued) artificials out of
+            // the basis, or delete redundant rows.
+            let mut i = 0;
+            while i < t.rows.len() {
+                if t.basis[i] >= art_start {
+                    debug_assert!(t.b[i].is_zero());
+                    // Rows are column-sorted, so the first entry below
+                    // `art_start` is the smallest such column.
+                    let piv_col = t.rows[i].first().map(|e| e.0).filter(|&j| j < art_start);
+                    match piv_col {
+                        Some(j) => {
+                            if t.entry(i, j).expect("just found").is_negative() {
+                                t.negate_row(i);
+                            }
+                            t.pivot(i, j);
+                            i += 1;
+                        }
+                        None => {
+                            t.rows.remove(i);
+                            t.b.remove(i);
+                            t.basis.remove(i);
+                        }
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            // Physically drop artificial columns.
+            for row in t.rows.iter_mut() {
+                row.retain(|e| e.0 < art_start);
+            }
+            t.cols = art_start;
+        }
+
+        // --- Phase 2: minimize the real objective. -----------------------
+        let mut cost = self.objective.clone();
+        cost.resize(t.cols, Q::zero());
+        if let PhaseOutcome::Unbounded = run_phase(&mut t, &cost, &|_| true) {
+            return LpSolution::failed(LpStatus::Unbounded, n);
+        }
+
+        self.extract(t)
+    }
+
+    /// Warm-started sparse solve from a basis hint.
+    ///
+    /// `hint` is a set of column indices (structural and slack columns in
+    /// this program's layout; out-of-range and artificial indices are
+    /// ignored) — typically [`LpSolution::basis`] from a previous solve of
+    /// a *related* program: same constraint skeleton, possibly different
+    /// right-hand sides or coefficient values (the `T`-dependent parts of
+    /// a feasibility probe). The solve is exact regardless of hint
+    /// quality; a useless hint just degenerates to more pivots, and an
+    /// anti-cycling safety cap falls back to the cold sparse solve.
+    ///
+    /// Note: unlike [`solve`](Self::solve), the returned vertex may be a
+    /// *different* optimal basic solution than the cold solver's (the
+    /// pivot path depends on the hint). Status and objective value always
+    /// agree.
+    pub fn solve_warm(&self, hint: &[usize]) -> LpSolution {
+        let n = self.num_vars;
+        let (srows, rels, rhs) = assemble(self);
+        let m = srows.len();
+        let n_slack = rels.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let cols = n + n_slack;
+
+        // Slack columns in row order, exactly as the cold layout assigns
+        // them (so hints from cold solutions point at the same columns).
+        let mut t =
+            SparseTableau { rows: Vec::with_capacity(m), b: rhs, basis: vec![usize::MAX; m], cols };
+        let mut next_slack = n;
+        for (i, mut row) in srows.into_iter().enumerate() {
+            match rels[i] {
+                Relation::Le => {
+                    row.push((next_slack, Q::one()));
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    row.push((next_slack, -Q::one()));
+                    next_slack += 1;
+                }
+                Relation::Eq => {}
+            }
+            t.rows.push(row);
+        }
+
+        // --- Crash the hinted columns into the basis (Gaussian style). --
+        let mut wanted: Vec<usize> = hint.iter().copied().filter(|&c| c < cols).collect();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut in_basis = vec![false; cols];
+        for c in wanted {
+            let Some(row) =
+                (0..t.rows.len()).find(|&i| t.basis[i] == usize::MAX && t.entry(i, c).is_some())
+            else {
+                continue; // dependent on already-crashed columns: skip
+            };
+            t.pivot(row, c);
+            in_basis[c] = true;
+        }
+        // --- Complete to a full basis of the surviving rows. ------------
+        let mut i = 0;
+        while i < t.rows.len() {
+            if t.basis[i] != usize::MAX {
+                i += 1;
+                continue;
+            }
+            let Some(col) = t.rows[i].iter().map(|e| e.0).find(|&c| !in_basis[c]) else {
+                // All-zero row: redundant if b = 0, inconsistent otherwise.
+                if t.b[i].is_zero() {
+                    t.rows.remove(i);
+                    t.b.remove(i);
+                    t.basis.remove(i);
+                    continue;
+                }
+                return LpSolution::failed(LpStatus::Infeasible, n);
+            };
+            t.pivot(i, col);
+            in_basis[col] = true;
+            i += 1;
+        }
+
+        // --- Dual-simplex loop: repair b ≥ 0. ---------------------------
+        // With a zero objective every basis is dual-feasible, and the
+        // all-zero reduced costs stay zero under pivoting, so the Bland
+        // selections below are the classic anti-cycling dual rule:
+        // leaving = smallest basic index among negative rows, entering =
+        // smallest column with a negative entry in the leaving row.
+        let pivot_cap = 64 * (t.rows.len() + cols) + 1024;
+        let mut pivots = 0usize;
+        while let Some(row) =
+            (0..t.rows.len()).filter(|&i| t.b[i].is_negative()).min_by_key(|&i| t.basis[i])
+        {
+            let Some(enter) = t.rows[row].iter().find(|e| e.1.is_negative()).map(|e| e.0) else {
+                // Σ (nonnegative coeffs)·x = b < 0 over x ≥ 0: infeasible.
+                return LpSolution::failed(LpStatus::Infeasible, n);
+            };
+            t.pivot(row, enter);
+            pivots += 1;
+            if pivots > pivot_cap {
+                // Safety valve: exactness is preserved either way, the
+                // cold solve is simply the slower sure thing.
+                return self.solve_sparse();
+            }
+        }
+
+        // --- Primal phase for the real objective. -----------------------
+        let mut cost = self.objective.clone();
+        cost.resize(t.cols, Q::zero());
+        if let PhaseOutcome::Unbounded = run_phase(&mut t, &cost, &|_| true) {
+            return LpSolution::failed(LpStatus::Unbounded, n);
+        }
+
+        self.extract(t)
+    }
+
+    /// Read the structural solution out of a final tableau.
+    fn extract(&self, t: SparseTableau) -> LpSolution {
+        let n = self.num_vars;
+        let mut values = vec![Q::zero(); n];
+        for (i, &bcol) in t.basis.iter().enumerate() {
+            if bcol < n {
+                values[bcol] = t.b[i].clone();
+            }
+        }
+        let objective_value = self.objective_at(&values);
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective_value,
+            values,
+            basis: t.basis,
+            num_structural: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn qr(p: i64, d: i64) -> Q {
+        Q::ratio(p, d)
+    }
+
+    /// Every handcrafted program the dense unit tests cover, run through
+    /// both implementations side by side.
+    fn assert_identical(lp: &LinearProgram) {
+        let d = lp.solve_dense();
+        let s = lp.solve_sparse();
+        assert_eq!(d.status, s.status);
+        assert_eq!(d.objective_value, s.objective_value);
+        assert_eq!(d.values, s.values, "pivot-identical vertices");
+        assert_eq!(d.basis, s.basis, "pivot-identical bases");
+    }
+
+    #[test]
+    fn matches_dense_on_reference_programs() {
+        // Bounded optimum with mixed relations.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-2));
+        lp.set_objective(1, q(-3));
+        lp.add_constraint(vec![(0, q(1)), (1, q(2))], Relation::Le, q(14));
+        lp.add_constraint(vec![(0, q(3)), (1, q(-1))], Relation::Ge, q(0));
+        lp.add_constraint(vec![(0, q(1)), (1, q(-1))], Relation::Le, q(2));
+        assert_identical(&lp);
+
+        // Negative rhs normalization.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(-1))], Relation::Le, q(-3));
+        assert_identical(&lp);
+
+        // Redundant equalities (row deletion path).
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(4));
+        lp.add_constraint(vec![(0, q(2)), (1, q(2))], Relation::Eq, q(8));
+        lp.set_objective(0, q(1));
+        assert_identical(&lp);
+
+        // Infeasible.
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(0, q(1))], Relation::Ge, q(5));
+        lp.add_constraint(vec![(0, q(1))], Relation::Le, q(3));
+        assert_identical(&lp);
+
+        // Unbounded.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(-1));
+        assert_identical(&lp);
+
+        // Beale's degenerate LP (anti-cycling path).
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, qr(-3, 4));
+        lp.set_objective(1, q(150));
+        lp.set_objective(2, qr(-1, 50));
+        lp.set_objective(3, q(6));
+        lp.add_constraint(
+            vec![(0, qr(1, 4)), (1, q(-60)), (2, qr(-1, 25)), (3, q(9))],
+            Relation::Le,
+            q(0),
+        );
+        lp.add_constraint(
+            vec![(0, qr(1, 2)), (1, q(-90)), (2, qr(-1, 50)), (3, q(3))],
+            Relation::Le,
+            q(0),
+        );
+        lp.add_constraint(vec![(2, q(1))], Relation::Le, q(1));
+        assert_identical(&lp);
+
+        // Duplicate indices summed; zero-sum coefficient vanishes.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-1));
+        lp.add_constraint(vec![(0, q(1)), (0, q(2)), (1, q(1)), (1, q(-1))], Relation::Le, q(6));
+        lp.add_constraint(vec![(1, q(1))], Relation::Le, q(5));
+        assert_identical(&lp);
+    }
+
+    #[test]
+    fn warm_from_cold_basis_is_instant_on_same_program() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(10));
+        lp.add_constraint(vec![(0, q(1)), (1, q(-1))], Relation::Eq, q(2));
+        let cold = lp.solve();
+        let warm = lp.solve_warm(&cold.basis);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_eq!(warm.values, cold.values);
+    }
+
+    #[test]
+    fn warm_with_garbage_hint_still_exact() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(1));
+        lp.set_objective(1, q(1));
+        lp.add_constraint(vec![(0, q(2)), (1, q(1))], Relation::Ge, q(3));
+        lp.add_constraint(vec![(0, q(1)), (1, q(3))], Relation::Ge, q(4));
+        for hint in [vec![], vec![0], vec![1, 3], vec![99, 100, 0]] {
+            let warm = lp.solve_warm(&hint);
+            assert_eq!(warm.status, LpStatus::Optimal);
+            assert_eq!(warm.objective_value, q(2));
+            assert!(lp.is_feasible_point(&warm.values));
+        }
+    }
+
+    #[test]
+    fn warm_detects_infeasible() {
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(0, q(1))], Relation::Ge, q(5));
+        lp.add_constraint(vec![(0, q(1))], Relation::Le, q(3));
+        assert_eq!(lp.solve_warm(&[0]).status, LpStatus::Infeasible);
+        assert_eq!(lp.solve_warm(&[]).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_detects_unbounded() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-1));
+        lp.add_constraint(vec![(1, q(1))], Relation::Le, q(1));
+        assert_eq!(lp.solve_warm(&[1]).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn warm_inconsistent_zero_row() {
+        // x + y = 1 twice with different rhs: crash makes a zero row with
+        // nonzero b.
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(1));
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(2));
+        assert_eq!(lp.solve_warm(&[0, 1]).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_redundant_row_dropped() {
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], Relation::Eq, q(4));
+        lp.add_constraint(vec![(0, q(2)), (1, q(2))], Relation::Eq, q(8));
+        let warm = lp.solve_warm(&[0]);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!(lp.is_feasible_point(&warm.values));
+    }
+
+    #[test]
+    fn row_sub_scaled_merges() {
+        let a: SRow = vec![(0, q(1)), (2, q(3)), (5, q(-1))];
+        let p: SRow = vec![(1, q(2)), (2, q(3)), (5, q(-1))];
+        let r = row_sub_scaled(&a, &Q::one(), &p);
+        assert_eq!(r, vec![(0, q(1)), (1, q(-2))]);
+        let r2 = row_sub_scaled(&a, &q(2), &p);
+        assert_eq!(r2, vec![(0, q(1)), (1, q(-4)), (2, q(-3)), (5, q(1))]);
+    }
+}

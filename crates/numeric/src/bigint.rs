@@ -129,6 +129,22 @@ impl BigInt {
         }
     }
 
+    /// Value as `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        let mag = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (mag <= i128::MAX as u128).then_some(mag as i128),
+            Sign::Negative => {
+                if mag <= i128::MAX as u128 + 1 {
+                    Some((mag as i128).wrapping_neg())
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Approximate value as `f64` (reporting only).
     pub fn to_f64(&self) -> f64 {
         let m = self.mag.to_f64();

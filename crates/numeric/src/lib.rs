@@ -55,9 +55,44 @@ pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
     }
 }
 
+/// Greatest common divisor of two `u128`s (binary / Stein's algorithm).
+///
+/// The workhorse of [`Rational`]'s small-value fast path: every reduce of
+/// an `i128` fraction goes through here instead of `BigUint::gcd`.
+pub fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gcd_u128_basics() {
+        assert_eq!(gcd_u128(0, 0), 0);
+        assert_eq!(gcd_u128(0, 7), 7);
+        assert_eq!(gcd_u128(12, 18), 6);
+        assert_eq!(gcd_u128(u128::MAX, u128::MAX), u128::MAX);
+        assert_eq!(gcd_u128(1 << 100, 1 << 20), 1 << 20);
+        assert_eq!(gcd_u128(1 << 127, 3), 1);
+    }
 
     #[test]
     fn gcd_u64_basics() {

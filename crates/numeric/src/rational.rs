@@ -1,34 +1,112 @@
 //! Exact rational numbers: the workhorse numeric type of the workspace.
 //!
 //! Invariants: denominator > 0, gcd(|num|, den) = 1, and 0 is `0/1`.
+//!
+//! # Representation
+//!
+//! The LP solver and the schedule validators perform millions of rational
+//! operations whose operands almost always fit machine words, so
+//! [`Rational`] keeps two representations:
+//!
+//! * **Small** — numerator and denominator as `i128`, no heap allocation.
+//!   Every operation uses checked arithmetic; on overflow the operation
+//!   transparently escapes to the big path.
+//! * **Big** — numerator and denominator as heap-allocated [`BigInt`]s
+//!   (the exact fallback; arbitrarily large values).
+//!
+//! The representation is *canonical*: a value is stored Small if and only
+//! if both components fit in `i128`. Every constructor and operation
+//! re-establishes this (big results are demoted when they shrink), which
+//! is what makes the derived `Eq`/`Hash` correct across representations.
 
 use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 use crate::bigint::BigInt;
+use crate::gcd_u128;
 
 /// Exact rational number `num / den` in lowest terms with `den > 0`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rational {
-    num: BigInt,
-    den: BigInt,
+    repr: Repr,
+}
+
+/// Internal representation; see the module docs for the canonicity rule.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `den > 0`, `gcd(|num|, den) = 1`; present iff both fit in `i128`.
+    Small { num: i128, den: i128 },
+    /// Same invariants over arbitrary-precision integers.
+    Big { num: BigInt, den: BigInt },
+}
+
+/// Divide out the gcd of an already sign-normalized pair (`den > 0`).
+#[inline]
+fn reduce_small(num: i128, den: i128) -> Repr {
+    if num == 0 {
+        return Repr::Small { num: 0, den: 1 };
+    }
+    let g = gcd_u128(num.unsigned_abs(), den.unsigned_abs());
+    if g == 1 {
+        Repr::Small { num, den }
+    } else {
+        Repr::Small { num: num / g as i128, den: den / g as i128 }
+    }
+}
+
+/// Normalize a raw small pair (any signs, `den != 0`); `None` when a sign
+/// flip would overflow (only at `i128::MIN`).
+#[inline]
+fn normalize_small(mut num: i128, mut den: i128) -> Option<Repr> {
+    debug_assert!(den != 0);
+    if den < 0 {
+        num = num.checked_neg()?;
+        den = den.checked_neg()?;
+    }
+    Some(reduce_small(num, den))
 }
 
 impl Rational {
+    #[inline]
+    fn small(num: i128, den: i128) -> Self {
+        Rational { repr: Repr::Small { num, den } }
+    }
+
+    /// Build the canonical form from a normalized big pair (`den > 0`,
+    /// lowest terms), demoting to the small representation when it fits.
+    fn from_normalized_big(num: BigInt, den: BigInt) -> Self {
+        match (num.to_i128(), den.to_i128()) {
+            (Some(n), Some(d)) => Rational::small(n, d),
+            _ => Rational { repr: Repr::Big { num, den } },
+        }
+    }
+
     /// The value 0.
+    #[inline]
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational::small(0, 1)
     }
 
     /// The value 1.
+    #[inline]
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational::small(1, 1)
     }
 
     /// Construct `num / den`, normalizing; panics if `den == 0`.
     pub fn new(num: BigInt, den: BigInt) -> Self {
         assert!(!den.is_zero(), "Rational with zero denominator");
+        if let (Some(n), Some(d)) = (num.to_i128(), den.to_i128()) {
+            if let Some(r) = normalize_small(n, d) {
+                return Rational { repr: r };
+            }
+        }
+        Self::new_big(num, den)
+    }
+
+    /// The big normalization path of [`new`](Self::new).
+    fn new_big(num: BigInt, den: BigInt) -> Self {
         let mut num = num;
         let mut den = den;
         if den.is_negative() {
@@ -43,88 +121,171 @@ impl Rational {
             num = num.div_rem(&g).0;
             den = den.div_rem(&g).0;
         }
-        Rational { num, den }
+        Self::from_normalized_big(num, den)
     }
 
     /// Construct from an integer.
+    #[inline]
     pub fn from_int(v: i64) -> Self {
-        Rational { num: BigInt::from_i64(v), den: BigInt::one() }
+        Rational::small(v as i128, 1)
+    }
+
+    /// Construct from an `i128` integer.
+    #[inline]
+    pub fn from_i128(v: i128) -> Self {
+        Rational::small(v, 1)
     }
 
     /// Construct from a [`BigInt`].
     pub fn from_bigint(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        match v.to_i128() {
+            Some(n) => Rational::small(n, 1),
+            None => Rational { repr: Repr::Big { num: v, den: BigInt::one() } },
+        }
     }
 
     /// Construct `p / q` from machine integers; panics if `q == 0`.
     pub fn ratio(p: i64, q: i64) -> Self {
-        Self::new(BigInt::from_i64(p), BigInt::from_i64(q))
+        assert!(q != 0, "Rational with zero denominator");
+        Rational {
+            repr: normalize_small(p as i128, q as i128).expect("i64 inputs never overflow i128"),
+        }
     }
 
     /// Numerator (sign-carrying).
-    pub fn numer(&self) -> &BigInt {
-        &self.num
+    pub fn numer(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { num, .. } => BigInt::from_i128(*num),
+            Repr::Big { num, .. } => num.clone(),
+        }
     }
 
     /// Denominator (always positive).
-    pub fn denom(&self) -> &BigInt {
-        &self.den
+    pub fn denom(&self) -> BigInt {
+        match &self.repr {
+            Repr::Small { den, .. } => BigInt::from_i128(*den),
+            Repr::Big { den, .. } => den.clone(),
+        }
+    }
+
+    /// Numerator and denominator as `i128`s when the value is in the
+    /// small representation (canonically: whenever both fit).
+    #[inline]
+    pub fn to_i128_pair(&self) -> Option<(i128, i128)> {
+        match &self.repr {
+            Repr::Small { num, den } => Some((*num, *den)),
+            Repr::Big { .. } => None,
+        }
     }
 
     /// True iff 0.
+    #[inline]
     pub fn is_zero(&self) -> bool {
-        self.num.is_zero()
+        match &self.repr {
+            Repr::Small { num, .. } => *num == 0,
+            Repr::Big { num, .. } => num.is_zero(),
+        }
+    }
+
+    /// True iff 1.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        matches!(&self.repr, Repr::Small { num: 1, den: 1 })
     }
 
     /// True iff > 0.
+    #[inline]
     pub fn is_positive(&self) -> bool {
-        self.num.is_positive()
+        match &self.repr {
+            Repr::Small { num, .. } => *num > 0,
+            Repr::Big { num, .. } => num.is_positive(),
+        }
     }
 
     /// True iff < 0.
+    #[inline]
     pub fn is_negative(&self) -> bool {
-        self.num.is_negative()
+        match &self.repr {
+            Repr::Small { num, .. } => *num < 0,
+            Repr::Big { num, .. } => num.is_negative(),
+        }
     }
 
     /// True iff the value is an integer.
+    #[inline]
     pub fn is_integer(&self) -> bool {
-        self.den == BigInt::one()
+        match &self.repr {
+            Repr::Small { den, .. } => *den == 1,
+            Repr::Big { den, .. } => *den == BigInt::one(),
+        }
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Self {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        if self.is_negative() {
+            -self.clone()
+        } else {
+            self.clone()
+        }
     }
 
     /// Multiplicative inverse; panics if 0.
     pub fn recip(&self) -> Self {
         assert!(!self.is_zero(), "reciprocal of zero");
-        Self::new(self.den.clone(), self.num.clone())
+        match &self.repr {
+            Repr::Small { num, den } => {
+                if let Some(r) = normalize_small(*den, *num) {
+                    return Rational { repr: r };
+                }
+                Self::new_big(BigInt::from_i128(*den), BigInt::from_i128(*num))
+            }
+            Repr::Big { num, den } => Self::new_big(den.clone(), num.clone()),
+        }
     }
 
     /// Floor: greatest integer ≤ self.
     pub fn floor(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&self.den);
-        if r.is_negative() {
-            q - BigInt::one()
-        } else {
-            q
+        match &self.repr {
+            Repr::Small { num, den } => BigInt::from_i128(num.div_euclid(*den)),
+            Repr::Big { num, den } => {
+                let (q, r) = num.div_rem(den);
+                if r.is_negative() {
+                    q - BigInt::one()
+                } else {
+                    q
+                }
+            }
         }
     }
 
     /// Ceiling: least integer ≥ self.
     pub fn ceil(&self) -> BigInt {
-        let (q, r) = self.num.div_rem(&self.den);
-        if r.is_positive() {
-            q + BigInt::one()
-        } else {
-            q
+        match &self.repr {
+            Repr::Small { num, den } => {
+                let q = num.div_euclid(*den);
+                if num.rem_euclid(*den) != 0 {
+                    BigInt::from_i128(q + 1)
+                } else {
+                    BigInt::from_i128(q)
+                }
+            }
+            Repr::Big { num, den } => {
+                let (q, r) = num.div_rem(den);
+                if r.is_positive() {
+                    q + BigInt::one()
+                } else {
+                    q
+                }
+            }
         }
     }
 
     /// Approximate `f64` value (reporting only; never drives decisions).
     pub fn to_f64(&self) -> f64 {
-        self.num.to_f64() / self.den.to_f64()
+        match &self.repr {
+            Repr::Small { num, den } => *num as f64 / *den as f64,
+            Repr::Big { num, den } => num.to_f64() / den.to_f64(),
+        }
     }
 
     /// min of two rationals by value.
@@ -163,6 +324,69 @@ impl Rational {
         let q = (self.clone() / m.clone()).floor();
         self.clone() - m.clone() * Rational::from_bigint(q)
     }
+
+    /// The value as a big pair `(num, den)` regardless of representation.
+    fn to_big_parts(&self) -> (BigInt, BigInt) {
+        (self.numer(), self.denom())
+    }
+
+    /// `a/b + c/d` over big integers (exact fallback path).
+    fn add_big(&self, rhs: &Rational) -> Rational {
+        let (an, ad) = self.to_big_parts();
+        let (bn, bd) = rhs.to_big_parts();
+        Rational::new_big(an.mul_ref(&bd).add_ref(&bn.mul_ref(&ad)), ad.mul_ref(&bd))
+    }
+
+    /// `a/b * c/d` over big integers (exact fallback path).
+    fn mul_big(&self, rhs: &Rational) -> Rational {
+        let (an, ad) = self.to_big_parts();
+        let (bn, bd) = rhs.to_big_parts();
+        Rational::new_big(an.mul_ref(&bn), ad.mul_ref(&bd))
+    }
+}
+
+/// `a/b + c/d` entirely in `i128`; `None` on any overflow.
+///
+/// Uses the gcd-of-denominators trick (Knuth 4.5.1): with `g = gcd(b, d)`
+/// the result `(a·d/g + c·b/g) / (b/g · d)` needs only one small gcd to
+/// reach lowest terms, keeping intermediates far from overflow.
+#[inline]
+fn add_small(a: i128, b: i128, c: i128, d: i128) -> Option<Repr> {
+    let g = gcd_u128(b.unsigned_abs(), d.unsigned_abs()) as i128;
+    if g == 1 {
+        let num = a.checked_mul(d)?.checked_add(c.checked_mul(b)?)?;
+        let den = b.checked_mul(d)?;
+        // gcd(b, d) = 1 ⇒ already in lowest terms (Knuth 4.5.1).
+        return Some(if num == 0 {
+            Repr::Small { num: 0, den: 1 }
+        } else {
+            Repr::Small { num, den }
+        });
+    }
+    let (b1, d1) = (b / g, d / g);
+    let t = a.checked_mul(d1)?.checked_add(c.checked_mul(b1)?)?;
+    if t == 0 {
+        return Some(Repr::Small { num: 0, den: 1 });
+    }
+    let g2 = gcd_u128(t.unsigned_abs(), g.unsigned_abs()) as i128;
+    let num = t / g2;
+    let den = b1.checked_mul(d / g2)?;
+    Some(Repr::Small { num, den })
+}
+
+/// `a/b * c/d` entirely in `i128`; `None` on any overflow. Cross-reduces
+/// before multiplying so the products stay small and no final gcd is
+/// needed.
+#[inline]
+fn mul_small(a: i128, b: i128, c: i128, d: i128) -> Option<Repr> {
+    if a == 0 || c == 0 {
+        return Some(Repr::Small { num: 0, den: 1 });
+    }
+    let g1 = gcd_u128(a.unsigned_abs(), d.unsigned_abs()) as i128;
+    let g2 = gcd_u128(c.unsigned_abs(), b.unsigned_abs()) as i128;
+    let num = (a / g1).checked_mul(c / g2)?;
+    let den = (b / g2).checked_mul(d / g1)?;
+    Some(Repr::Small { num, den })
 }
 
 impl Default for Rational {
@@ -174,59 +398,84 @@ impl Default for Rational {
 impl Add for Rational {
     type Output = Rational;
     fn add(self, rhs: Rational) -> Rational {
-        Rational::new(
-            self.num.mul_ref(&rhs.den).add_ref(&rhs.num.mul_ref(&self.den)),
-            self.den.mul_ref(&rhs.den),
-        )
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if let Some(r) = add_small(*a, *b, *c, *d) {
+                return Rational { repr: r };
+            }
+        }
+        self.add_big(&rhs)
     }
 }
 
 impl<'a> Add<&'a Rational> for Rational {
     type Output = Rational;
     fn add(self, rhs: &'a Rational) -> Rational {
-        self + rhs.clone()
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if let Some(r) = add_small(*a, *b, *c, *d) {
+                return Rational { repr: r };
+            }
+        }
+        self.add_big(rhs)
     }
 }
 
 impl AddAssign for Rational {
     fn add_assign(&mut self, rhs: Rational) {
-        *self = self.clone() + rhs;
+        let lhs = core::mem::take(self);
+        *self = lhs + rhs;
     }
 }
 
 impl Sub for Rational {
     type Output = Rational;
     fn sub(self, rhs: Rational) -> Rational {
-        Rational::new(
-            self.num.mul_ref(&rhs.den).sub_ref(&rhs.num.mul_ref(&self.den)),
-            self.den.mul_ref(&rhs.den),
-        )
+        self + (-rhs)
     }
 }
 
 impl SubAssign for Rational {
     fn sub_assign(&mut self, rhs: Rational) {
-        *self = self.clone() - rhs;
+        let lhs = core::mem::take(self);
+        *self = lhs - rhs;
     }
 }
 
 impl Mul for Rational {
     type Output = Rational;
     fn mul(self, rhs: Rational) -> Rational {
-        Rational::new(self.num.mul_ref(&rhs.num), self.den.mul_ref(&rhs.den))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if let Some(r) = mul_small(*a, *b, *c, *d) {
+                return Rational { repr: r };
+            }
+        }
+        self.mul_big(&rhs)
     }
 }
 
 impl<'a> Mul<&'a Rational> for Rational {
     type Output = Rational;
     fn mul(self, rhs: &'a Rational) -> Rational {
-        self * rhs.clone()
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            if let Some(r) = mul_small(*a, *b, *c, *d) {
+                return Rational { repr: r };
+            }
+        }
+        self.mul_big(rhs)
     }
 }
 
 impl MulAssign for Rational {
     fn mul_assign(&mut self, rhs: Rational) {
-        *self = self.clone() * rhs;
+        let lhs = core::mem::take(self);
+        *self = lhs * rhs;
     }
 }
 
@@ -234,20 +483,47 @@ impl Div for Rational {
     type Output = Rational;
     fn div(self, rhs: Rational) -> Rational {
         assert!(!rhs.is_zero(), "Rational division by zero");
-        Rational::new(self.num.mul_ref(&rhs.den), self.den.mul_ref(&rhs.num))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &rhs.repr)
+        {
+            // a/b ÷ c/d = (a·d)/(b·c); mul_small's cross-reduction already
+            // yields lowest terms, so only the sign of c (now on the
+            // denominator) needs normalizing — no second gcd.
+            if let Some(Repr::Small { num, den }) = mul_small(*a, *b, *d, *c) {
+                if den > 0 {
+                    return Rational::small(num, den);
+                }
+                if let (Some(n), Some(d)) = (num.checked_neg(), den.checked_neg()) {
+                    return Rational::small(n, d);
+                }
+            }
+        }
+        let (an, ad) = self.to_big_parts();
+        let (bn, bd) = rhs.to_big_parts();
+        Rational::new_big(an.mul_ref(&bd), ad.mul_ref(&bn))
     }
 }
 
 impl DivAssign for Rational {
     fn div_assign(&mut self, rhs: Rational) {
-        *self = self.clone() / rhs;
+        let lhs = core::mem::take(self);
+        *self = lhs / rhs;
     }
 }
 
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        match self.repr {
+            Repr::Small { num, den } => match num.checked_neg() {
+                Some(n) => Rational::small(n, den),
+                // Only −i128::MIN escapes; the magnitude then needs Big.
+                None => Rational {
+                    repr: Repr::Big { num: -BigInt::from_i128(num), den: BigInt::from_i128(den) },
+                },
+            },
+            Repr::Big { num, den } => Rational::from_normalized_big(-num, den),
+        }
     }
 }
 
@@ -260,16 +536,43 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b vs c/d with b,d > 0  ⇔  a*d vs c*b
-        self.num.mul_ref(&other.den).cmp(&other.num.mul_ref(&self.den))
+        if let (Repr::Small { num: a, den: b }, Repr::Small { num: c, den: d }) =
+            (&self.repr, &other.repr)
+        {
+            // Cheap sign screen first.
+            match (a.signum(), c.signum()) {
+                (x, y) if x < y => return Ordering::Less,
+                (x, y) if x > y => return Ordering::Greater,
+                (0, 0) => return Ordering::Equal,
+                _ => {}
+            }
+            if let (Some(l), Some(r)) = (a.checked_mul(*d), c.checked_mul(*b)) {
+                return l.cmp(&r);
+            }
+        }
+        let (an, ad) = self.to_big_parts();
+        let (bn, bd) = other.to_big_parts();
+        an.mul_ref(&bd).cmp(&bn.mul_ref(&ad))
     }
 }
 
 impl fmt::Display for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_integer() {
-            write!(f, "{}", self.num)
-        } else {
-            write!(f, "{}/{}", self.num, self.den)
+        match &self.repr {
+            Repr::Small { num, den } => {
+                if *den == 1 {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
+            Repr::Big { num, den } => {
+                if self.is_integer() {
+                    write!(f, "{num}")
+                } else {
+                    write!(f, "{num}/{den}")
+                }
+            }
         }
     }
 }
@@ -288,7 +591,7 @@ impl From<i64> for Rational {
 
 impl From<u64> for Rational {
     fn from(v: u64) -> Self {
-        Self::from_bigint(BigInt::from_u64(v))
+        Rational::small(v as i128, 1)
     }
 }
 
@@ -371,5 +674,67 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    // ---- fast-path / escape behaviour -------------------------------
+
+    /// A value near the i128 boundary: operations overflow the small path
+    /// and must escape to BigInt, then demote when they shrink back.
+    #[test]
+    fn overflow_escape_and_demotion() {
+        let huge = Rational::from_i128(i128::MAX / 2);
+        let p = huge.clone() * huge.clone(); // ≈ 2^250: must be Big
+        assert!(p.to_i128_pair().is_none(), "product escapes to Big");
+        let back = p.clone() / huge.clone();
+        assert_eq!(back, huge, "dividing back demotes to Small");
+        assert!(back.to_i128_pair().is_some());
+        // Ordering straddles representations.
+        assert!(huge < p);
+        assert!(p > Rational::one());
+    }
+
+    #[test]
+    fn small_stays_small() {
+        let a = r(1, 3);
+        let mut acc = Rational::zero();
+        for _ in 0..100 {
+            acc += a.clone();
+        }
+        assert_eq!(acc, Rational::ratio(100, 3));
+        assert!(acc.to_i128_pair().is_some());
+    }
+
+    #[test]
+    fn neg_at_i128_min_roundtrips() {
+        let v = Rational::from_i128(i128::MIN);
+        assert!(v.to_i128_pair().is_some());
+        let n = -v.clone(); // 2^127 does not fit i128: Big
+        assert!(n.to_i128_pair().is_none());
+        assert_eq!(-n, v, "negation is an involution across representations");
+    }
+
+    #[test]
+    fn eq_and_hash_canonical_across_reprs() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Build 1/2 via a Big detour and via the small path.
+        let big_half =
+            Rational::new(BigInt::from_i128(i128::MAX / 2), BigInt::from_i128(i128::MAX - 1));
+        let small_half = r(1, 2);
+        assert_eq!(big_half, small_half);
+        let h = |x: &Rational| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&big_half), h(&small_half));
+    }
+
+    #[test]
+    fn big_integer_display_and_floor() {
+        let p = Rational::from_i128(i128::MAX) * Rational::from_i128(4);
+        assert!(p.is_integer());
+        assert_eq!(p.floor(), p.ceil());
+        assert_eq!((p.clone() / Rational::from_i128(4)).floor(), BigInt::from_i128(i128::MAX));
     }
 }

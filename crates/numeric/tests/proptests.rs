@@ -9,6 +9,67 @@ fn big(v: u64) -> BigUint {
     BigUint::from_u64(v)
 }
 
+/// Pure-BigInt rational reference for the fast-path differential test:
+/// deliberately naive (no cross-reduction tricks, no small representation)
+/// so it shares no code with `Rational`'s i128 fast path.
+#[derive(Clone, Debug)]
+struct RefRat {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl RefRat {
+    fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero());
+        let (mut num, mut den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        if num.is_zero() {
+            return RefRat { num: BigInt::zero(), den: BigInt::one() };
+        }
+        let g = num.gcd(&den);
+        if g != BigInt::one() {
+            num = num.div_rem(&g).0;
+            den = den.div_rem(&g).0;
+        }
+        RefRat { num, den }
+    }
+
+    fn add(&self, o: &RefRat) -> RefRat {
+        RefRat::new(
+            self.num.mul_ref(&o.den).add_ref(&o.num.mul_ref(&self.den)),
+            self.den.mul_ref(&o.den),
+        )
+    }
+
+    fn sub(&self, o: &RefRat) -> RefRat {
+        RefRat::new(
+            self.num.mul_ref(&o.den).sub_ref(&o.num.mul_ref(&self.den)),
+            self.den.mul_ref(&o.den),
+        )
+    }
+
+    fn mul(&self, o: &RefRat) -> RefRat {
+        RefRat::new(self.num.mul_ref(&o.num), self.den.mul_ref(&o.den))
+    }
+
+    fn div(&self, o: &RefRat) -> RefRat {
+        RefRat::new(self.num.mul_ref(&o.den), self.den.mul_ref(&o.num))
+    }
+
+    fn cmp(&self, o: &RefRat) -> std::cmp::Ordering {
+        self.num.mul_ref(&o.den).cmp(&o.num.mul_ref(&self.den))
+    }
+}
+
+/// `(v << shift)` as a BigInt — large shifts push operands out of i128.
+fn shift_i64(v: i64, shift: u32) -> BigInt {
+    let mut acc = BigInt::from_i64(v);
+    let two = BigInt::from_i64(2);
+    for _ in 0..shift {
+        acc = acc.mul_ref(&two);
+    }
+    acc
+}
+
 proptest! {
     #[test]
     fn biguint_add_matches_u128(a: u64, b: u64) {
@@ -119,9 +180,9 @@ proptest! {
     fn rational_normalized(an in -10000i64..10000, ad in 1i64..1000) {
         let a = Rational::ratio(an, ad);
         // lowest terms: gcd(num, den) == 1 (or num == 0 with den == 1)
-        let g = a.numer().gcd(a.denom());
+        let g = a.numer().gcd(&a.denom());
         if a.is_zero() {
-            prop_assert!(a.denom() == &BigInt::one());
+            prop_assert!(a.denom() == BigInt::one());
         } else {
             prop_assert_eq!(g, BigInt::one());
         }
@@ -151,6 +212,55 @@ proptest! {
         // a - r is an integer multiple of m
         let k = (a - r) / m;
         prop_assert!(k.is_integer());
+    }
+
+    /// Differential test for the i128 small-value fast path: random
+    /// left-deep expression trees over ±, ×, ÷ evaluated with `Rational`
+    /// (fast path + overflow escape) must agree with a pure-BigInt
+    /// reference evaluator. Shifted operands force the BigInt escape and
+    /// demotion paths to be exercised, not just the small path.
+    #[test]
+    fn rational_fast_path_matches_bigint_reference(
+        seed_n in -1000i64..1000, seed_d in 1i64..100,
+        ops in proptest::collection::vec(
+            (0u8..4, -10_000i64..10_000, 1i64..1000, 0u32..140), 1..24),
+    ) {
+        let mut fast = Rational::ratio(seed_n, seed_d);
+        let mut reference = RefRat::new(BigInt::from_i64(seed_n), BigInt::from_i64(seed_d));
+        for (op, on, od, shift) in ops {
+            // Operand (on << shift) / od: shifts ≥ ~64 leave i128 range.
+            let shifted = shift_i64(on, shift);
+            let operand_fast =
+                Rational::new(shifted.clone(), BigInt::from_i64(od));
+            let operand_ref = RefRat::new(shifted, BigInt::from_i64(od));
+            match op {
+                0 => {
+                    fast += operand_fast;
+                    reference = reference.add(&operand_ref);
+                }
+                1 => {
+                    fast -= operand_fast;
+                    reference = reference.sub(&operand_ref);
+                }
+                2 => {
+                    fast *= operand_fast;
+                    reference = reference.mul(&operand_ref);
+                }
+                _ => {
+                    if operand_fast.is_zero() {
+                        continue;
+                    }
+                    fast /= operand_fast;
+                    reference = reference.div(&operand_ref);
+                }
+            }
+            prop_assert_eq!(fast.numer(), reference.num.clone(), "numerator diverged");
+            prop_assert_eq!(fast.denom(), reference.den.clone(), "denominator diverged");
+        }
+        // Comparison agrees with the reference cross-multiplication.
+        let half = Rational::ratio(1, 2);
+        let ref_half = RefRat::new(BigInt::from_i64(1), BigInt::from_i64(2));
+        prop_assert_eq!(fast.cmp(&half), reference.cmp(&ref_half));
     }
 
     #[test]

@@ -143,6 +143,27 @@ fn both_schedulers_realize_same_pairs() {
     }
 }
 
+/// Golden regression for the exact LP core rebuild: both 2-approx
+/// oracles return bit-identical `t_star` and makespan on fixed-seed
+/// SMP-CMP workloads (values captured from the seed dense-solver
+/// implementation before the sparse/warm swap).
+#[test]
+fn golden_two_approx_smp_cmp_unchanged() {
+    for (seed, want_t, want_mk) in [(17u64, 13u64, 20i64), (29, 10, 18)] {
+        let inst = random::smp_cmp_instance(&[2, 2], 10, 1, 10, 25, &mut rng(seed));
+        let a = two_approx_with(&inst, TwoApproxMethod::DirectSingleton);
+        let b = two_approx_with(&inst, TwoApproxMethod::PushDown);
+        for (label, res) in [("direct", &a), ("pushdown", &b)] {
+            assert_eq!(res.t_star, want_t, "t* drifted: seed {seed} ({label})");
+            assert_eq!(
+                res.makespan,
+                Q::from(want_mk as u64),
+                "makespan drifted: seed {seed} ({label})"
+            );
+        }
+    }
+}
+
 /// Example V.1 at scale: the gap series is exactly (n−1, 2n−3).
 #[test]
 fn gap_series_exact_values() {
