@@ -1,11 +1,19 @@
 //! Exact-rational simplex cost on the paper's decision LPs (IP-3) — the
-//! dominant component of the 2-approximation's runtime (E10).
+//! dominant component of the 2-approximation's runtime (E10/E11).
+//!
+//! The default sizes keep the CI smoke job (`cargo bench -- --test`)
+//! fast; set `HSCHED_BENCH_LARGE=1` to add the scale-axis rows at
+//! m ∈ {100, 256, 1024}, where the revised solver is benchmarked against
+//! the PR 2 sparse tableau (the tableau is skipped at m = 1024 — one
+//! solve alone blows the smoke budget).
 
 use bench::fixtures;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hsched_core::formulations::build_ip3;
+use lp::Solver;
 
 fn bench_ip3_lp(c: &mut Criterion) {
+    let large = std::env::var("HSCHED_BENCH_LARGE").is_ok();
     let mut g = c.benchmark_group("ip3_lp_solve");
     g.sample_size(10);
     for (n, m) in [(8usize, 3usize), (16, 4), (24, 6), (50, 20)] {
@@ -18,6 +26,26 @@ fn bench_ip3_lp(c: &mut Criterion) {
             &lp,
             |b, lp| b.iter(|| std::hint::black_box(lp.solve())),
         );
+    }
+    // Scale axis (E11): revised vs the sparse tableau at large m.
+    if large {
+        for (n, m) in [(64usize, 100usize), (100, 256), (128, 1024)] {
+            let inst = fixtures::e10_instance(n, m, 7);
+            let t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+            let (lp, vm) = build_ip3(&inst, t).expect("has variables");
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("revised_n{n}_m{m}_vars{}", vm.len())),
+                &lp,
+                |b, lp| b.iter(|| std::hint::black_box(lp.solve_with(Solver::Revised))),
+            );
+            if m <= 256 {
+                g.bench_with_input(
+                    BenchmarkId::from_parameter(format!("sparse_n{n}_m{m}_vars{}", vm.len())),
+                    &lp,
+                    |b, lp| b.iter(|| std::hint::black_box(lp.solve_with(Solver::Sparse))),
+                );
+            }
+        }
     }
     g.finish();
 }

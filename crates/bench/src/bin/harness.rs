@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E10).
+//! The experiment harness: regenerates every evaluation table (E1–E11).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -87,8 +87,11 @@ fn main() {
     if want("e10") {
         reports.push(ex::e10());
     }
+    if want("e11") {
+        reports.push(ex::e11());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e10 or all");
+        eprintln!("unknown experiment id; use e1..e11 or all");
         std::process::exit(2);
     }
 

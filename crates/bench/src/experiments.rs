@@ -90,7 +90,7 @@ pub fn e3(seeds: u64) -> Report {
 /// terminating in minutes instead of hours.
 pub fn e3_with(seeds: u64, budget: Duration) -> Report {
     let start = Instant::now();
-    let opts = ExactOptions { node_limit: E3_NODE_LIMIT };
+    let opts = ExactOptions { node_limit: E3_NODE_LIMIT, ..Default::default() };
     let mut t =
         Table::new(&["topology", "n", "mean ratio", "max ratio", "T*≤OPT", "runs", "skipped"]);
     let mut global_max = 0.0f64;
@@ -496,6 +496,167 @@ pub fn e10() -> Report {
         )
 }
 
+/// Default wall-clock budget for a full E11 run.
+pub const E11_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// (n, m) sizes of E11's LP-solver comparison rows.
+pub const E11_LP_SIZES: [(usize, usize); 2] = [(64, 100), (100, 256)];
+
+/// (n, m) of E11's large-m `two_approx` operating point.
+pub const E11_TWO_APPROX_SIZE: (usize, usize) = (64, 1024);
+
+/// E11 — the scale axis (default budget): revised simplex vs the sparse
+/// tableau at m ≥ 100, the m = 1024 `two_approx` operating point, and
+/// the warm-vs-cold branch-and-bound ablation on the E3 configuration.
+pub fn e11() -> Report {
+    e11_with(E11_DEFAULT_BUDGET)
+}
+
+/// [`e11`] under an explicit wall-clock budget: remaining rows are
+/// skipped — recording how much was covered — once the budget is spent.
+pub fn e11_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t = Table::new(&["case", "n", "m", "baseline", "new", "speedup"]);
+    let mut truncated = false;
+
+    // --- Revised vs sparse tableau on cold (IP-3) relaxation solves.
+    // Agreement is *enforced*, not reported: a status/objective/vertex
+    // mismatch aborts the run (same policy as E3's guarantee assert).
+    for (n, m) in E11_LP_SIZES {
+        if start.elapsed() > budget {
+            truncated = true;
+            break;
+        }
+        let inst = fixtures::e10_instance(n, m, 7);
+        let horizon = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+        let (lp, _) = hsched_core::formulations::build_ip3(&inst, horizon).expect("has variables");
+        let t0 = Instant::now();
+        let revised = lp.solve_with(lp::Solver::Revised);
+        let d_revised = t0.elapsed();
+        let t1 = Instant::now();
+        let sparse = lp.solve_with(lp::Solver::Sparse);
+        let d_sparse = t1.elapsed();
+        assert!(
+            revised.status == sparse.status
+                && revised.objective_value == sparse.objective_value
+                && revised.values == sparse.values,
+            "solvers disagree at n={n} m={m}"
+        );
+        t.row(vec![
+            "ip3 LP sparse→revised".into(),
+            n.to_string(),
+            m.to_string(),
+            format!("{d_sparse:.1?}"),
+            format!("{d_revised:.1?}"),
+            format!("{:.1}×", d_sparse.as_secs_f64() / d_revised.as_secs_f64().max(1e-9)),
+        ]);
+    }
+
+    // --- two_approx at the large-m operating point (revised-only: the
+    // tableau baseline at this size exceeds any sane budget). ------------
+    if start.elapsed() > budget {
+        truncated = true;
+    } else {
+        let (n, m) = E11_TWO_APPROX_SIZE;
+        let inst = fixtures::e10_instance(n, m, 7);
+        let t0 = Instant::now();
+        let res = two_approx(&inst);
+        let d = t0.elapsed();
+        assert!(
+            res.makespan <= Q::from(2 * res.t_star),
+            "2-approximation guarantee violated at m={m}"
+        );
+        t.row(vec![
+            "two_approx (revised+flat)".into(),
+            n.to_string(),
+            m.to_string(),
+            "—".into(),
+            format!("{d:.1?}"),
+            "—".into(),
+        ]);
+    }
+
+    // --- Warm vs cold branch-and-bound on the E3 configuration. ---------
+    let mut bnb_rows = 0usize;
+    let mut bnb_skipped = 0usize;
+    let (mut d_cold_tot, mut d_warm_tot) = (Duration::ZERO, Duration::ZERO);
+    let (mut nodes_cold_tot, mut nodes_warm_tot) = (0usize, 0usize);
+    'bnb: for (name, fam) in fixtures::e3_topologies() {
+        for seed in 0..2u64 {
+            if start.elapsed() > budget {
+                truncated = true;
+                break 'bnb;
+            }
+            let n = *E3_SIZES.last().expect("nonempty");
+            let inst = fixtures::e3_instance(fam.clone(), n, seed * 97 + n as u64);
+            let cold_opts = ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: false };
+            let warm_opts = ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: true };
+            let t0 = Instant::now();
+            let cold = solve_exact(&inst, &cold_opts);
+            let d_cold = t0.elapsed();
+            let t1 = Instant::now();
+            let warm = solve_exact(&inst, &warm_opts);
+            let d_warm = t1.elapsed();
+            let (Ok(cold), Ok(warm)) = (cold, warm) else {
+                // Node budget exhausted under one of the modes: no
+                // proven optimum to compare, recorded in the notes.
+                bnb_skipped += 1;
+                continue;
+            };
+            assert_eq!(cold.t, warm.t, "warm start changed the optimum: {name} seed={seed}");
+            t.row(vec![
+                format!("exact B&B cold→warm [{name}]"),
+                n.to_string(),
+                inst.num_machines().to_string(),
+                format!("{d_cold:.1?}/{}n", cold.nodes),
+                format!("{d_warm:.1?}/{}n", warm.nodes),
+                format!("{:.1}×", d_cold.as_secs_f64() / d_warm.as_secs_f64().max(1e-9)),
+            ]);
+            bnb_rows += 1;
+            d_cold_tot += d_cold;
+            d_warm_tot += d_warm;
+            nodes_cold_tot += cold.nodes;
+            nodes_warm_tot += warm.nodes;
+        }
+    }
+
+    let mut r = Report::new(
+        "e11",
+        "Scale axis: LU-factorized revised simplex + flat laminar path at large m",
+        t,
+    )
+    .seeds(format!(
+        "LP/two_approx: e10_instance seed 7 at (n,m) in {:?} and {:?}; B&B: e3 seed = k*97 + n \
+         for k in 0..2, n = {}, node budget {}",
+        E11_LP_SIZES,
+        E11_TWO_APPROX_SIZE,
+        E3_SIZES.last().expect("nonempty"),
+        E3_NODE_LIMIT
+    ))
+    .note(
+        "agreement (revised vs sparse vertex; two_approx mk ≤ 2T*; cold vs warm optimum) \
+         is asserted per row — a disagreement aborts the run.",
+    );
+    if bnb_rows > 0 {
+        r = r.note(format!(
+            "B&B warm-start delta over {bnb_rows} instances: {d_cold_tot:.1?}/{nodes_cold_tot} \
+             nodes cold → {d_warm_tot:.1?}/{nodes_warm_tot} nodes warm",
+        ));
+    }
+    if bnb_skipped > 0 {
+        r = r.note(format!(
+            "{bnb_skipped} B&B instance(s) skipped: node budget exhausted, no proven optimum",
+        ));
+    }
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +694,21 @@ mod tests {
         // running the full sweep.
         let start = Instant::now();
         let r = e3_with(u64::MAX, Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// E11 must stay inside the regime that keeps `harness all`
+    /// terminating in about a minute, and its wall-clock budget must
+    /// actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e11_configuration_stays_under_budget() {
+        assert!(E11_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E11_LP_SIZES.iter().all(|&(n, m)| n <= 100 && m <= 256));
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e11_with(Duration::ZERO);
         assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
         assert!(r.render_text().contains("truncated"), "truncation must be recorded");
     }

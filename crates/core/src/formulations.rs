@@ -101,13 +101,15 @@ pub fn build_ip3(instance: &Instance, t: u64) -> Option<(LinearProgram, VarMap)>
 /// `p_{αj} > t` are omitted from every constraint of that probe, which is
 /// feasibility-equivalent to the pruned program (a variable appearing in
 /// no constraint never carries weight at a returned vertex). The fixed
-/// layout is what lets consecutive probes reuse the previous optimal
-/// basis via [`LinearProgram::solve_warm`] instead of re-running the
-/// two-phase simplex from scratch.
+/// layout is what lets consecutive probes re-solve from the previous
+/// optimal basis via [`lp::WarmCache`] — reusing the parent's basis
+/// *factorization* outright whenever the basic columns survive the
+/// horizon change — instead of re-running the two-phase simplex from
+/// scratch.
 pub struct Ip3Probe<'a> {
     instance: &'a Instance,
     vm: VarMap,
-    basis: Option<Vec<usize>>,
+    cache: lp::WarmCache,
 }
 
 impl<'a> Ip3Probe<'a> {
@@ -121,7 +123,7 @@ impl<'a> Ip3Probe<'a> {
                 }
             }
         }
-        Ip3Probe { instance, vm: VarMap::new(pairs), basis: None }
+        Ip3Probe { instance, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
     }
 
     /// The fixed variable layout (all finite pairs, pruned or not).
@@ -164,17 +166,13 @@ impl<'a> Ip3Probe<'a> {
 
     /// Feasibility at horizon `t`; on success returns a vertex of the
     /// relaxation (support only on pairs with `p ≤ t`) and remembers the
-    /// optimal basis for the next probe.
+    /// optimal basis (and its factorization) for the next probe.
     pub fn solve(&mut self, t: u64) -> Option<Vec<Q>> {
         let lp = self.build(t);
-        let sol = match &self.basis {
-            Some(b) => lp.solve_warm(b),
-            None => lp.solve(),
-        };
+        let sol = lp.solve_warm_cached(&mut self.cache);
         if sol.status != LpStatus::Optimal {
             return None;
         }
-        self.basis = Some(sol.basis.clone());
         Some(sol.values)
     }
 }

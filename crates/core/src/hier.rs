@@ -46,14 +46,59 @@ impl fmt::Display for HierError {
 
 impl std::error::Error for HierError {}
 
-/// The `LOAD` table of Algorithm 2: `load[a][i]` is meaningful for
-/// machines `i ∈ α` and zero elsewhere.
+/// The `LOAD` table of Algorithm 2: `LOAD[i, α]` for machines `i ∈ α`
+/// (zero elsewhere).
+///
+/// Stored flat over the family's member arena — one `Q` per `(set,
+/// member)` pair instead of the former dense `|A| × m` grid, which
+/// allocated quadratically in `m` on singleton-rich families.
 #[derive(Clone, Debug)]
 pub struct LoadTable {
-    /// `LOAD[i, α]` indexed `[set][machine]`.
-    pub load: Vec<Vec<Q>>,
-    /// `TOT-LOAD[i, α] = Σ_{β ⊆ α, i ∈ β} LOAD[i, β]` indexed `[set][machine]`.
-    pub tot_load: Vec<Vec<Q>>,
+    /// `off[a]..off[a+1]` indexes set `a`'s block; entries follow the
+    /// set's ascending member order. Copied from the family's member
+    /// arena so the table stays usable without a family borrow; all
+    /// table indexing goes through these, never the family's offsets.
+    off: Vec<usize>,
+    members: Vec<usize>,
+    load: Vec<Q>,
+    tot_load: Vec<Q>,
+}
+
+impl LoadTable {
+    fn empty(fam: &laminar::LaminarFamily) -> Self {
+        let n_sets = fam.len();
+        let arena = fam.member_arena_len();
+        let mut off = Vec::with_capacity(n_sets + 1);
+        let mut members = Vec::with_capacity(arena);
+        for a in 0..n_sets {
+            off.push(fam.member_base(a));
+            members.extend_from_slice(fam.members(a));
+        }
+        off.push(arena);
+        LoadTable { off, members, load: vec![Q::zero(); arena], tot_load: vec![Q::zero(); arena] }
+    }
+
+    /// Flat index of `(a, i)`, if `i ∈ α`.
+    fn idx(&self, a: usize, i: usize) -> Option<usize> {
+        let block = &self.members[self.off[a]..self.off[a + 1]];
+        block.binary_search(&i).ok().map(|pos| self.off[a] + pos)
+    }
+
+    /// `LOAD[i, α]`; zero when `i ∉ α`.
+    pub fn load(&self, a: usize, i: usize) -> Q {
+        self.idx(a, i).map_or_else(Q::zero, |k| self.load[k].clone())
+    }
+
+    /// `TOT-LOAD[i, α] = Σ_{β ⊆ α, i ∈ β} LOAD[i, β]`; zero when `i ∉ α`.
+    pub fn tot_load(&self, a: usize, i: usize) -> Q {
+        self.idx(a, i).map_or_else(Q::zero, |k| self.tot_load[k].clone())
+    }
+
+    /// Set `a`'s loads in ascending member order (machines outside `α`
+    /// carry no load by definition).
+    pub fn set_loads(&self, a: usize) -> &[Q] {
+        &self.load[self.off[a]..self.off[a + 1]]
+    }
 }
 
 /// Algorithm 2: bottom-up volume allocation.
@@ -66,19 +111,17 @@ pub fn allocate_loads(
     t: &Q,
 ) -> Result<LoadTable, HierError> {
     let fam = instance.family();
-    let m = instance.num_machines();
-    let n_sets = fam.len();
-    let mut load = vec![vec![Q::zero(); m]; n_sets];
-    let mut tot_load = vec![vec![Q::zero(); m]; n_sets];
+    let mut table = LoadTable::empty(fam);
 
-    for &alpha in &fam.bottom_up_order() {
+    for &alpha in fam.bottom_up_order() {
         // V ← Σ_j p_{αj} x_{αj}
         let mut v = assignment.volume_on(instance, alpha);
+        let base = table.off[alpha];
         // foreach i ∈ α in ascending order
-        for i in fam.set(alpha).iter() {
+        for (pos, &i) in fam.members(alpha).iter().enumerate() {
             // β: the maximal strict subset of α containing i (child), if any.
             let below = match fam.child_containing(alpha, i) {
-                Some(beta) => tot_load[beta][i].clone(),
+                Some(beta) => table.tot_load(beta, i),
                 None => Q::zero(),
             };
             let avail = t.clone() - below.clone();
@@ -88,8 +131,8 @@ pub fn allocate_loads(
                 ));
             }
             let put = v.clone().min(avail);
-            load[alpha][i] = put.clone();
-            tot_load[alpha][i] = below + put.clone();
+            table.load[base + pos] = put.clone();
+            table.tot_load[base + pos] = below + put.clone();
             v -= put;
         }
         if v.is_positive() {
@@ -99,7 +142,7 @@ pub fn allocate_loads(
             }));
         }
     }
-    Ok(LoadTable { load, tot_load })
+    Ok(table)
 }
 
 /// Lemma IV.2 witness: for set `beta`, the machines `i ∈ β` carrying both
@@ -108,15 +151,15 @@ pub fn allocate_loads(
 pub fn shared_machines(instance: &Instance, loads: &LoadTable, beta: usize) -> Vec<(usize, usize)> {
     let fam = instance.family();
     let mut out = Vec::new();
-    for i in fam.set(beta).iter() {
-        if !loads.load[beta][i].is_positive() {
+    for (&i, load) in fam.members(beta).iter().zip(loads.set_loads(beta)) {
+        if !load.is_positive() {
             continue;
         }
         // Walk the parent chain to find the minimal strict superset with
         // positive load on i.
         let mut cur = fam.parent(beta);
         while let Some(alpha) = cur {
-            if loads.load[alpha][i].is_positive() {
+            if loads.load(alpha, i).is_positive() {
                 out.push((i, alpha));
                 break;
             }
@@ -135,15 +178,14 @@ pub fn schedule_hierarchical(
 ) -> Result<Schedule, HierError> {
     assignment.check_ip2(instance, t).map_err(HierError::Infeasible)?;
     let fam = instance.family();
-    let m = instance.num_machines();
     let loads = allocate_loads(instance, assignment, t)?;
 
-    // t_at[a][i] — the paper's t_{iα}: wall time (mod T) where the jobs of
-    // set α end on machine i.
-    let mut t_at = vec![vec![Q::zero(); m]; fam.len()];
+    // t_at — the paper's t_{iα}: wall time (mod T) where the jobs of set
+    // α end on machine i. Flat over the member arena, like the loads.
+    let mut t_at = vec![Q::zero(); fam.member_arena_len()];
     let mut segments = Vec::new();
 
-    for &beta in &fam.top_down_order() {
+    for &beta in fam.top_down_order() {
         // Lines 4–10: pick the start machine ℓ and start time t_β.
         let shared = shared_machines(instance, &loads, beta);
         if shared.len() > 1 {
@@ -152,8 +194,12 @@ pub fn schedule_hierarchical(
             ));
         }
         let (start_machine, mut t_beta) = match shared.first() {
-            Some(&(i, alpha_min)) => (i, t_at[alpha_min][i].clone()),
-            None => (fam.set(beta).first().expect("sets are nonempty"), Q::zero()),
+            Some(&(i, alpha_min)) => (
+                i,
+                t_at[fam.member_base(alpha_min) + fam.member_pos(alpha_min, i).expect("i ∈ α")]
+                    .clone(),
+            ),
+            None => (*fam.members(beta).first().expect("sets are nonempty"), Q::zero()),
         };
 
         // Job stream of β in ascending job order.
@@ -165,17 +211,19 @@ pub fn schedule_hierarchical(
         );
 
         // Lines 11–14: machines of β starting from ℓ, wrapping ascending.
-        let members = fam.set(beta).to_vec();
+        let members = fam.members(beta);
+        let base = fam.member_base(beta);
         let pivot =
             members.iter().position(|&k| k == start_machine).expect("start machine belongs to β");
-        let order = members[pivot..].iter().chain(members[..pivot].iter());
-        for &k in order {
-            let d = loads.load[beta][k].clone();
+        let order = (pivot..members.len()).chain(0..pivot);
+        for pos in order {
+            let k = members[pos];
+            let d = loads.load[base + pos].clone();
             if d.is_positive() {
                 stream.place(k, &t_beta, &d, t, &mut segments);
                 t_beta = (t_beta + d).rem_euclid(t);
             }
-            t_at[beta][k] = t_beta.clone();
+            t_at[base + pos] = t_beta.clone();
         }
         if !stream.is_empty() {
             return Err(HierError::InvariantBroken("stream not exhausted (Lemma IV.1 ii)"));
@@ -222,13 +270,13 @@ mod tests {
         let loads = allocate_loads(&inst, &asg, &q(2)).unwrap();
         // Lemma IV.1 ii: Σ_i LOAD[i, α] = volume(α) for every α.
         for a in 0..inst.family().len() {
-            let placed = Q::sum(loads.load[a].iter());
+            let placed = Q::sum(loads.set_loads(a).iter());
             assert_eq!(placed, asg.volume_on(&inst, a), "set {a}");
         }
-        // Lemma IV.1 i: TOT-LOAD ≤ T everywhere.
+        // Lemma IV.1 i: TOT-LOAD ≤ T everywhere (zero off-membership).
         for a in 0..inst.family().len() {
             for i in 0..2 {
-                assert!(loads.tot_load[a][i] <= q(2));
+                assert!(loads.tot_load(a, i) <= q(2));
             }
         }
     }

@@ -181,14 +181,15 @@ pub fn lst_assign(p: &[Vec<Option<u64>>], m: usize, t: u64) -> Option<LstAssignm
 /// The variable layout is *fixed*: one variable per finite `(job,
 /// machine)` pair, with pairs pruned at a given `t` simply omitted from
 /// that probe's constraints (feasibility-equivalent to the pruned LP of
-/// [`lst_assign`]). Consecutive probes reuse the previous optimal basis
-/// via [`LinearProgram::solve_warm`], so a binary search re-solves
-/// incrementally instead of from scratch.
+/// [`lst_assign`]). Consecutive probes re-solve from the previous
+/// optimal basis via [`lp::WarmCache`], reusing the parent basis
+/// factorization whenever the basic columns survive the horizon change,
+/// so a binary search re-solves incrementally instead of from scratch.
 pub struct LstProbe<'a> {
     p: &'a [Vec<Option<u64>>],
     m: usize,
     pairs: Vec<(usize, usize)>,
-    basis: Option<Vec<usize>>,
+    cache: lp::WarmCache,
 }
 
 impl<'a> LstProbe<'a> {
@@ -203,7 +204,7 @@ impl<'a> LstProbe<'a> {
                 }
             }
         }
-        LstProbe { p, m, pairs, basis: None }
+        LstProbe { p, m, pairs, cache: lp::WarmCache::new() }
     }
 
     /// Is the pruned LP feasible at horizon `t`? Returns exactly
@@ -235,15 +236,7 @@ impl<'a> LstProbe<'a> {
         for coeffs in by_machine {
             lp.add_constraint(coeffs, Relation::Le, Q::from(t));
         }
-        let sol = match &self.basis {
-            Some(b) => lp.solve_warm(b),
-            None => lp.solve(),
-        };
-        if sol.status != LpStatus::Optimal {
-            return false;
-        }
-        self.basis = Some(sol.basis);
-        true
+        lp.solve_warm_cached(&mut self.cache).status == LpStatus::Optimal
     }
 }
 

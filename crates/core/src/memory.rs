@@ -25,6 +25,7 @@ use lp::{LinearProgram, LpStatus, Relation};
 use numeric::Q;
 
 use crate::assignment::Assignment;
+use crate::formulations::VarMap;
 use crate::hier::schedule_hierarchical;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
@@ -514,16 +515,107 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
     })
 }
 
+/// Warm-started feasibility probe for Model 1's LP relaxation — the
+/// memory-constrained analogue of [`crate::formulations::Ip3Probe`],
+/// driving the binary search in [`model1_lp_t_star`].
+///
+/// The variable layout is *fixed* across horizons: one variable per
+/// finite `(α, j)` pair whose machines can all hold job `j` within
+/// budget (both conditions are `t`-independent). Pairs with `p_{αj} > t`
+/// are omitted from every constraint of that probe, which is
+/// feasibility-equivalent to the pruned program — a variable appearing
+/// in no constraint never carries weight at a returned vertex, and a job
+/// whose pairs are all pruned yields an empty `0 = 1` row, the
+/// fixed-layout encoding of "no admissible pair". The fixed layout (and
+/// fixed row count: assignment + capacity + memory rows are all emitted
+/// at every probe) lets consecutive probes re-solve from the previous
+/// optimal basis via [`lp::WarmCache`] instead of running the two-phase
+/// simplex cold per horizon.
+struct Model1Probe<'a> {
+    m1: &'a MemoryModel1,
+    vm: VarMap,
+    cache: lp::WarmCache,
+}
+
+impl<'a> Model1Probe<'a> {
+    fn new(m1: &'a MemoryModel1) -> Self {
+        let inst = &m1.instance;
+        let mut pairs = Vec::new();
+        for a in 0..inst.family().len() {
+            for j in 0..inst.num_jobs() {
+                if inst.ptime(j, a).is_some()
+                    && inst.set(a).iter().all(|i| m1.sizes[j][i] <= m1.budgets[i])
+                {
+                    pairs.push((a, j));
+                }
+            }
+        }
+        Model1Probe { m1, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
+    }
+
+    /// Build the fixed-layout fractional (IP-3) + (7) system at horizon `t`.
+    fn build(&self, t: u64) -> LinearProgram {
+        let inst = &self.m1.instance;
+        let n = inst.num_jobs();
+        let m = inst.num_machines();
+        let admitted = |a: usize, j: usize| inst.ptime(j, a).is_some_and(|p| p <= t);
+        let mut lp = LinearProgram::new(self.vm.len());
+        for j in 0..n {
+            let coeffs: Vec<(usize, Q)> = (0..inst.family().len())
+                .filter(|&a| self.vm.var(a, j).is_some() && admitted(a, j))
+                .map(|a| (self.vm.var(a, j).expect("in layout"), Q::one()))
+                .collect();
+            lp.add_constraint(coeffs, Relation::Eq, Q::one());
+        }
+        for a in 0..inst.family().len() {
+            let mut coeffs = Vec::new();
+            for b in inst.subsets_of(a) {
+                for j in 0..n {
+                    if let Some(v) = self.vm.var(b, j) {
+                        if admitted(b, j) {
+                            coeffs.push((v, inst.ptime_q(j, b).expect("finite")));
+                        }
+                    }
+                }
+            }
+            let cap = Q::from(inst.set(a).len() as u64) * Q::from(t);
+            lp.add_constraint(coeffs, Relation::Le, cap);
+        }
+        for i in 0..m {
+            let coeffs: Vec<(usize, Q)> = self
+                .vm
+                .pairs()
+                .iter()
+                .enumerate()
+                .filter(|(_, &(a, j))| {
+                    inst.set(a).contains(i) && self.m1.sizes[j][i] > 0 && admitted(a, j)
+                })
+                .map(|(v, &(_, j))| (v, Q::from(self.m1.sizes[j][i])))
+                .collect();
+            lp.add_constraint(coeffs, Relation::Le, Q::from(self.m1.budgets[i].max(1)));
+        }
+        lp
+    }
+
+    fn feasible(&mut self, t: u64) -> bool {
+        self.build(t).solve_warm_cached(&mut self.cache).status == LpStatus::Optimal
+    }
+}
+
 /// Smallest integral `t` at which Model 1's LP relaxation is feasible —
-/// the baseline `T` the theorems compare against.
+/// the baseline `T` the theorems compare against. Consecutive horizon
+/// probes re-solve from the previous optimal basis ([`Model1Probe`]).
 pub fn model1_lp_t_star(m1: &MemoryModel1) -> Option<u64> {
     let inst = &m1.instance;
     let lo = inst.bottleneck_lower_bound().max(inst.volume_lower_bound()).max(1);
     let hi = inst.sequential_upper_bound().max(lo);
-    let feasible = |t: u64| model1_lp_feasible(m1, t);
-    binary_search_min(lo, hi, &feasible)
+    let mut probe = Model1Probe::new(m1);
+    binary_search_min(lo, hi, &mut |t| probe.feasible(t))
 }
 
+/// Cold pruned-layout feasibility of the Model 1 relaxation — the
+/// differential reference [`Model1Probe`] is tested against.
+#[cfg(test)]
 fn model1_lp_feasible(m1: &MemoryModel1, t: u64) -> bool {
     // Feasibility of the fractional (IP-3) + (7) system.
     let inst = &m1.instance;
@@ -578,14 +670,94 @@ fn model1_lp_feasible(m1: &MemoryModel1, t: u64) -> bool {
     lp.solve().status == LpStatus::Optimal
 }
 
+/// Warm-started feasibility probe for Model 2's LP relaxation; same
+/// fixed-layout contract as [`Model1Probe`] (all finite pairs, pruned
+/// entries omitted per-probe, fixed row count) so consecutive horizon
+/// probes reuse the previous basis via [`lp::WarmCache`].
+struct Model2Probe<'a> {
+    m2: &'a MemoryModel2,
+    vm: VarMap,
+    cache: lp::WarmCache,
+}
+
+impl<'a> Model2Probe<'a> {
+    fn new(m2: &'a MemoryModel2) -> Self {
+        let inst = &m2.instance;
+        let mut pairs = Vec::new();
+        for a in 0..inst.family().len() {
+            for j in 0..inst.num_jobs() {
+                if inst.ptime(j, a).is_some() {
+                    pairs.push((a, j));
+                }
+            }
+        }
+        Model2Probe { m2, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
+    }
+
+    /// Build the fixed-layout fractional (IP-4) system at horizon `t`.
+    fn build(&self, t: u64) -> LinearProgram {
+        let inst = &self.m2.instance;
+        let fam = inst.family();
+        let n = inst.num_jobs();
+        let admitted = |a: usize, j: usize| inst.ptime(j, a).is_some_and(|p| p <= t);
+        let mut lp = LinearProgram::new(self.vm.len());
+        for j in 0..n {
+            let coeffs: Vec<(usize, Q)> = (0..fam.len())
+                .filter(|&a| self.vm.var(a, j).is_some() && admitted(a, j))
+                .map(|a| (self.vm.var(a, j).expect("in layout"), Q::one()))
+                .collect();
+            lp.add_constraint(coeffs, Relation::Eq, Q::one());
+        }
+        for a in 0..fam.len() {
+            let mut coeffs = Vec::new();
+            for b in inst.subsets_of(a) {
+                for j in 0..n {
+                    if let Some(v) = self.vm.var(b, j) {
+                        if admitted(b, j) {
+                            coeffs.push((v, inst.ptime_q(j, b).expect("finite")));
+                        }
+                    }
+                }
+            }
+            let cap = Q::from(fam.set(a).len() as u64) * Q::from(t);
+            lp.add_constraint(coeffs, Relation::Le, cap);
+        }
+        for a in 0..fam.len() {
+            let Some(cap) = self.m2.capacity(a) else { continue };
+            let coeffs: Vec<(usize, Q)> = self
+                .vm
+                .pairs()
+                .iter()
+                .enumerate()
+                .filter(|(_, &(set, j))| {
+                    set == a && self.m2.sizes[j].is_positive() && admitted(set, j)
+                })
+                .map(|(v, &(_, j))| (v, self.m2.sizes[j].clone()))
+                .collect();
+            lp.add_constraint(coeffs, Relation::Le, cap);
+        }
+        lp
+    }
+
+    fn feasible(&mut self, t: u64) -> bool {
+        self.build(t).solve_warm_cached(&mut self.cache).status == LpStatus::Optimal
+    }
+}
+
 /// Smallest integral `t` at which Model 2's LP relaxation is feasible.
+/// Consecutive horizon probes re-solve from the previous optimal basis
+/// ([`Model2Probe`]).
 pub fn model2_lp_t_star(m2: &MemoryModel2) -> Option<u64> {
     let inst = &m2.instance;
     let lo = inst.bottleneck_lower_bound().max(inst.volume_lower_bound()).max(1);
     let hi = inst.sequential_upper_bound().max(lo);
-    binary_search_min(lo, hi, &|t| model2_lp_feasible(m2, t))
+    let mut probe = Model2Probe::new(m2);
+    binary_search_min(lo, hi, &mut |t| probe.feasible(t))
 }
 
+/// Cold pruned-layout feasibility of the Model 2 relaxation — the
+/// differential reference [`Model2Probe`] is tested against.
+#[cfg(test)]
 fn model2_lp_feasible(m2: &MemoryModel2, t: u64) -> bool {
     let inst = &m2.instance;
     let fam = inst.family();
@@ -636,7 +808,11 @@ fn model2_lp_feasible(m2: &MemoryModel2, t: u64) -> bool {
     lp.solve().status == LpStatus::Optimal
 }
 
-fn binary_search_min(mut lo: u64, mut hi: u64, feasible: &dyn Fn(u64) -> bool) -> Option<u64> {
+fn binary_search_min(
+    mut lo: u64,
+    mut hi: u64,
+    feasible: &mut dyn FnMut(u64) -> bool,
+) -> Option<u64> {
     let mut guard = 0;
     while !feasible(hi) {
         hi = hi.saturating_mul(2).max(1);
@@ -776,6 +952,67 @@ mod tests {
         let inst = Instance::from_fn(fam, 1, |_, _| Some(1)).unwrap();
         let m2 = MemoryModel2 { instance: inst, sizes: vec![Q::ratio(1, 2)], mu: Q::from_int(2) };
         assert!(matches!(model2_round(&m2, 10), Err(MemoryError::NotUniformTree)));
+    }
+
+    /// The warm fixed-layout probes return the same `t_star` as a cold
+    /// binary search over the pruned-layout reference LPs, across
+    /// fixtures that stress memory pressure, budgets, and topologies.
+    #[test]
+    fn warm_t_star_matches_cold_reference() {
+        let mut m1_cases = vec![model1_fixture()];
+        for budget in [3u64, 4, 8, 20] {
+            let mut m1 = model1_fixture();
+            m1.budgets = vec![budget; 2];
+            m1_cases.push(m1);
+        }
+        {
+            // A clustered topology with skewed per-machine sizes.
+            let fam = topology::clustered(2, 2);
+            let set_len: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+            let inst =
+                Instance::from_fn(fam, 6, |j, a| Some(1 + j as u64 % 3 + set_len[a] / 2)).unwrap();
+            let m = inst.num_machines();
+            m1_cases.push(MemoryModel1 {
+                instance: inst,
+                sizes: (0..6).map(|j| (0..m).map(|i| 1 + ((j + i) % 3) as u64).collect()).collect(),
+                budgets: vec![4, 5, 4, 6],
+            });
+        }
+        for (k, m1) in m1_cases.iter().enumerate() {
+            let warm = model1_lp_t_star(m1);
+            let lo =
+                m1.instance.bottleneck_lower_bound().max(m1.instance.volume_lower_bound()).max(1);
+            let hi = m1.instance.sequential_upper_bound().max(lo);
+            let cold = binary_search_min(lo, hi, &mut |t| model1_lp_feasible(m1, t));
+            assert_eq!(warm, cold, "model 1 case {k}");
+        }
+
+        let mut m2_cases = vec![model2_fixture()];
+        {
+            let mut m2 = model2_fixture();
+            m2.mu = Q::ratio(3, 2);
+            m2_cases.push(m2);
+        }
+        {
+            let fam = topology::clustered(2, 2);
+            let sizes_by_set: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+            let inst =
+                Instance::from_fn(fam, 6, |j, a| Some(1 + j as u64 % 2 + sizes_by_set[a] / 2))
+                    .unwrap();
+            m2_cases.push(MemoryModel2 {
+                instance: inst,
+                sizes: (0..6).map(|j| Q::ratio(1 + (j % 3) as i64, 3)).collect(),
+                mu: Q::from_int(3),
+            });
+        }
+        for (k, m2) in m2_cases.iter().enumerate() {
+            let warm = model2_lp_t_star(m2);
+            let lo =
+                m2.instance.bottleneck_lower_bound().max(m2.instance.volume_lower_bound()).max(1);
+            let hi = m2.instance.sequential_upper_bound().max(lo);
+            let cold = binary_search_min(lo, hi, &mut |t| model2_lp_feasible(m2, t));
+            assert_eq!(warm, cold, "model 2 case {k}");
+        }
     }
 
     #[test]

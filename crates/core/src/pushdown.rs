@@ -147,6 +147,14 @@ pub fn push_down_once(
 
 /// Full top-down sweep: after this, `x` carries weight only on singleton
 /// sets and remains feasible (repeated Lemma V.1).
+///
+/// Value-identical to applying [`push_down_once`] along the top-down
+/// order (a property test asserts it), but a single pass over a flat
+/// arena: the per-set variable lists are bucketed once, and the weighted
+/// volumes `used[α] = Σ_j Σ_{β⊆α} p_βj x_βj` are built bottom-up once
+/// and maintained incrementally as weight moves — instead of rescanning
+/// every descendant of every child at every set (`slack`), which made
+/// the sweep quadratic in `|A|` and dominated `two_approx` at large `m`.
 pub fn push_down_all(
     instance: &Instance,
     vm: &VarMap,
@@ -154,9 +162,82 @@ pub fn push_down_all(
     t: &Q,
 ) -> Result<(), PushdownError> {
     let fam = instance.family();
-    for &eta in &fam.top_down_order() {
-        if fam.set(eta).len() > 1 {
-            push_down_once(instance, vm, x, eta, t)?;
+    let n_sets = fam.len();
+    // Bucket the variables by set (the arena view of the VarMap).
+    let mut vars_by_set: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_sets];
+    for v in 0..vm.len() {
+        let (a, j) = vm.pair(v);
+        vars_by_set[a].push((j, v));
+    }
+    // used[α]: own weighted volume, then accumulate children bottom-up.
+    let mut used: Vec<Q> = vec![Q::zero(); n_sets];
+    for (a, vars) in vars_by_set.iter().enumerate() {
+        for &(j, v) in vars {
+            if !x[v].is_zero() {
+                used[a] += instance.ptime_q(j, a).expect("R pairs finite") * x[v].clone();
+            }
+        }
+    }
+    for &a in fam.bottom_up_order() {
+        if let Some(p) = fam.parent(a) {
+            let below = used[a].clone();
+            used[p] += below;
+        }
+    }
+    let mut slacks: Vec<Q> = Vec::with_capacity(8);
+    for &eta in fam.top_down_order() {
+        let eta_size = fam.set(eta).len();
+        if eta_size <= 1 {
+            continue;
+        }
+        let children = fam.children(eta);
+        // Children must cover η: they are pairwise disjoint subsets, so
+        // covering is exactly a cardinality match.
+        let covered: usize = children.iter().map(|&c| fam.set(c).len()).sum();
+        if covered != eta_size {
+            return Err(PushdownError::ChildrenDontCover { set: eta });
+        }
+        // Slacks before the move, as Lemma V.1 evaluates them.
+        slacks.clear();
+        let mut total_slack = Q::zero();
+        for &c in children {
+            let s = Q::from(fam.set(c).len() as u64) * t.clone() - used[c].clone();
+            total_slack += s.clone();
+            slacks.push(s);
+        }
+        for &(j, v_eta) in &vars_by_set[eta] {
+            let w = x[v_eta].clone();
+            if w.is_zero() {
+                continue;
+            }
+            if total_slack.is_zero() {
+                // Inequality (5) forces Σ_j p_ηj x_ηj ≤ 0; only
+                // zero-length jobs may carry weight here — push them to
+                // the first child.
+                let p = instance.ptime_q(j, eta).expect("R pairs finite");
+                if p.is_positive() {
+                    return Err(PushdownError::InfeasibleInput { set: eta, job: j });
+                }
+                let c0 = children[0];
+                let v_c = vm.var(c0, j).expect("monotonicity keeps zero-length pairs inside R");
+                x[v_c] += w;
+                x[v_eta] = Q::zero();
+                continue;
+            }
+            for (k, &c) in children.iter().enumerate() {
+                if slacks[k].is_zero() {
+                    continue;
+                }
+                let share = w.clone() * slacks[k].clone() / total_slack.clone();
+                if share.is_zero() {
+                    continue;
+                }
+                let v_c =
+                    vm.var(c, j).expect("monotonicity: p_βj ≤ p_ηj ≤ T, so the child pair is in R");
+                x[v_c] += share.clone();
+                used[c] += instance.ptime_q(j, c).expect("R pairs finite") * share;
+            }
+            x[v_eta] = Q::zero();
         }
     }
     Ok(())
@@ -228,6 +309,39 @@ mod tests {
         push_down_all(&inst, vm, &mut x, &tq).unwrap();
         assert!(is_fractionally_feasible(&inst, vm, &x, &tq));
         assert!(supported_on_singletons(&inst, vm, &x));
+    }
+
+    /// The arena sweep is value-identical to applying Lemma V.1
+    /// (`push_down_once`) set by set along the top-down order.
+    #[test]
+    fn fast_sweep_matches_reference_loop() {
+        for (fam, n) in [
+            (topology::clustered(2, 2), 6usize),
+            (topology::smp_cmp(&[2, 2]), 5),
+            (topology::semi_partitioned(3), 7),
+        ] {
+            let sizes: Vec<u64> = fam.sets().iter().map(|s| s.len() as u64).collect();
+            let inst =
+                Instance::from_fn(fam, n, |j, a| Some(1 + (j % 3) as u64 + sizes[a])).unwrap();
+            let mut probe = crate::formulations::Ip3Probe::new(&inst);
+            let mut t = inst.bottleneck_lower_bound().max(inst.volume_lower_bound());
+            let (x0, tq) = loop {
+                if let Some(x) = probe.solve(t) {
+                    break (x, Q::from(t));
+                }
+                t += 1;
+            };
+            let vm = probe.varmap();
+            let mut fast = x0.clone();
+            push_down_all(&inst, vm, &mut fast, &tq).unwrap();
+            let mut reference = x0;
+            for &eta in inst.family().top_down_order() {
+                if inst.family().set(eta).len() > 1 {
+                    push_down_once(&inst, vm, &mut reference, eta, &tq).unwrap();
+                }
+            }
+            assert_eq!(fast, reference, "sweep diverged from Lemma V.1 reference");
+        }
     }
 
     #[test]

@@ -108,10 +108,10 @@ proptest! {
         let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
         let loads = allocate_loads(&inst, &asg, &t).expect("feasible");
         for a in 0..inst.family().len() {
-            prop_assert_eq!(Q::sum(loads.load[a].iter()), asg.volume_on(&inst, a));
+            prop_assert_eq!(Q::sum(loads.set_loads(a).iter()), asg.volume_on(&inst, a));
             prop_assert!(shared_machines(&inst, &loads, a).len() <= 1, "Lemma IV.2");
             for i in inst.set(a).iter() {
-                prop_assert!(loads.tot_load[a][i] <= t, "Lemma IV.1(i)");
+                prop_assert!(loads.tot_load(a, i) <= t, "Lemma IV.1(i)");
             }
         }
     }

@@ -43,12 +43,29 @@ impl std::error::Error for LaminarError {}
 /// are stable (construction never reorders the input). The forest edges
 /// connect each set to its inclusion-minimal strict superset within the
 /// family ([`parent`](Self::parent)).
+///
+/// The forest is stored as a flat arena: children lists and per-set
+/// member lists live in CSR-style `(offsets, data)` arrays, and the
+/// bottom-up / top-down visiting orders are computed once at
+/// construction. The scheduling hot paths (`allocate_loads`,
+/// `push_down_all`) iterate these slices without allocating.
 #[derive(Clone, Debug)]
 pub struct LaminarFamily {
     num_machines: usize,
     sets: Vec<MachineSet>,
     parent: Vec<Option<usize>>,
-    children: Vec<Vec<usize>>,
+    /// CSR children arena: set `a`'s children are
+    /// `child_idx[child_off[a]..child_off[a + 1]]`.
+    child_off: Vec<usize>,
+    child_idx: Vec<usize>,
+    /// CSR member arena: set `a`'s machines, ascending, are
+    /// `member_idx[member_off[a]..member_off[a + 1]]`.
+    member_off: Vec<usize>,
+    member_idx: Vec<usize>,
+    /// Set indices ordered children-before-parents (resp. reversed),
+    /// cached because every scheduler sweep starts from one of them.
+    bottom_up: Vec<usize>,
+    top_down: Vec<usize>,
     /// Paper's definition: `level(β) = |{α ∈ A : β ⊆ α}|` (counts `β`
     /// itself, so roots have level 1).
     level: Vec<usize>,
@@ -74,7 +91,7 @@ impl LaminarFamily {
                     return Err(LaminarError::Duplicate(i, j));
                 }
                 let nested = sets[i].is_subset(&sets[j]) || sets[j].is_subset(&sets[i]);
-                if !nested && !sets[i].is_disjoint(&sets[j]) {
+                if !nested && sets[i].intersects(&sets[j]) {
                     return Err(LaminarError::Crossing(i, j));
                 }
             }
@@ -98,29 +115,72 @@ impl LaminarFamily {
             }
             parent[i] = best;
         }
-        let mut children = vec![Vec::new(); sets.len()];
+        // Children as a CSR arena (counts → offsets → fill in index order,
+        // which preserves the per-parent ascending child order the old
+        // Vec-of-Vecs produced).
+        let mut child_off = vec![0usize; sets.len() + 1];
+        for p in parent.iter().flatten() {
+            child_off[*p + 1] += 1;
+        }
+        for a in 0..sets.len() {
+            child_off[a + 1] += child_off[a];
+        }
+        let mut child_idx = vec![0usize; *child_off.last().unwrap_or(&0)];
+        let mut cursor = child_off.clone();
         for (i, p) in parent.iter().enumerate() {
             if let Some(p) = p {
-                children[*p].push(i);
+                child_idx[cursor[*p]] = i;
+                cursor[*p] += 1;
             }
+        }
+        // Member arena: each set's machines, ascending.
+        let mut member_off = Vec::with_capacity(sets.len() + 1);
+        member_off.push(0usize);
+        let mut member_idx = Vec::new();
+        for s in &sets {
+            member_idx.extend(s.iter());
+            member_off.push(member_idx.len());
         }
         // Level: number of supersets including self.
         let mut level = vec![0usize; sets.len()];
         for i in 0..sets.len() {
             level[i] = (0..sets.len()).filter(|&j| sets[i].is_subset(&sets[j])).count();
         }
-        // Height: longest downward path to a forest leaf.
-        let mut height = vec![0usize; sets.len()];
-        let order = {
-            // process by increasing cardinality → children first
+        // Visiting orders. Cardinality is a valid topological key in a
+        // laminar family (β ⊂ α ⇒ |β| < |α|); ties break by index for
+        // determinism.
+        let bottom_up = {
             let mut idx: Vec<usize> = (0..sets.len()).collect();
-            idx.sort_by_key(|&i| sets[i].len());
+            idx.sort_by_key(|&i| (sets[i].len(), i));
             idx
         };
-        for &i in &order {
-            height[i] = children[i].iter().map(|&c| height[c] + 1).max().unwrap_or(0);
+        let top_down = {
+            let mut v = bottom_up.clone();
+            v.reverse();
+            v
+        };
+        // Height: longest downward path to a forest leaf.
+        let mut height = vec![0usize; sets.len()];
+        for &i in &bottom_up {
+            height[i] = child_idx[child_off[i]..child_off[i + 1]]
+                .iter()
+                .map(|&c| height[c] + 1)
+                .max()
+                .unwrap_or(0);
         }
-        Ok(LaminarFamily { num_machines, sets, parent, children, level, height })
+        Ok(LaminarFamily {
+            num_machines,
+            sets,
+            parent,
+            child_off,
+            child_idx,
+            member_off,
+            member_idx,
+            bottom_up,
+            top_down,
+            level,
+            height,
+        })
     }
 
     /// Number of machines `m` in the universe.
@@ -158,9 +218,35 @@ impl LaminarFamily {
         self.parent[a]
     }
 
-    /// Maximal strict subsets of set `a` (its forest children).
+    /// Maximal strict subsets of set `a` (its forest children), as a
+    /// slice of the CSR children arena.
     pub fn children(&self, a: usize) -> &[usize] {
-        &self.children[a]
+        &self.child_idx[self.child_off[a]..self.child_off[a + 1]]
+    }
+
+    /// Machines of set `a`, ascending, as a slice of the member arena —
+    /// the allocation-free counterpart of `set(a).iter()`.
+    pub fn members(&self, a: usize) -> &[usize] {
+        &self.member_idx[self.member_off[a]..self.member_off[a + 1]]
+    }
+
+    /// Offset of set `a`'s member block in the flat member arena; the
+    /// pair `(member_base(a), member_pos(a, i))` addresses per-(set,
+    /// machine) tables stored flat over the arena.
+    pub fn member_base(&self, a: usize) -> usize {
+        self.member_off[a]
+    }
+
+    /// Total length of the member arena `Σ_α |α|` — the size of a flat
+    /// per-(set, member) table.
+    pub fn member_arena_len(&self) -> usize {
+        self.member_idx.len()
+    }
+
+    /// Position of machine `i` within set `a`'s ascending member list,
+    /// if `i ∈ α` (binary search over the member arena).
+    pub fn member_pos(&self, a: usize, i: usize) -> Option<usize> {
+        self.members(a).binary_search(&i).ok()
     }
 
     /// Paper level of set `a` (roots have level 1).
@@ -185,31 +271,27 @@ impl LaminarFamily {
 
     /// Indices of leaf sets (no strict subset in the family).
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.children[i].is_empty()).collect()
+        (0..self.len()).filter(|&i| self.children(i).is_empty()).collect()
     }
 
     /// Set indices ordered children-before-parents (the visiting order of
     /// Algorithm 2: a set is visited only after all its subsets).
-    pub fn bottom_up_order(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.len()).collect();
-        // Cardinality is a valid topological key in a laminar family:
-        // β ⊂ α ⇒ |β| < |α|. Ties broken by index for determinism.
-        idx.sort_by_key(|&i| (self.sets[i].len(), i));
-        idx
+    /// Precomputed at construction.
+    pub fn bottom_up_order(&self) -> &[usize] {
+        &self.bottom_up
     }
 
     /// Set indices ordered parents-before-children (Algorithm 3's order).
-    pub fn top_down_order(&self) -> Vec<usize> {
-        let mut v = self.bottom_up_order();
-        v.reverse();
-        v
+    /// Precomputed at construction.
+    pub fn top_down_order(&self) -> &[usize] {
+        &self.top_down
     }
 
     /// The maximal proper subset of `alpha` (within the family) that
     /// contains machine `i` — the `β` of Algorithm 2 line 8, i.e. the
     /// child of `alpha` containing `i`, if any.
     pub fn child_containing(&self, alpha: usize, i: usize) -> Option<usize> {
-        self.children[alpha].iter().copied().find(|&c| self.sets[c].contains(i))
+        self.children(alpha).iter().copied().find(|&c| self.sets[c].contains(i))
     }
 
     /// The inclusion-minimal set of the family containing machine `i`.
@@ -350,6 +432,33 @@ mod tests {
         assert_eq!(f.child_containing(1, 2), None);
         assert_eq!(f.minimal_set_containing(2), Some(5));
         assert_eq!(f.uniform_leaf_level(), Some(3));
+    }
+
+    #[test]
+    fn member_arena_matches_sets() {
+        let f = LaminarFamily::new(
+            4,
+            vec![
+                ms(4, &[0, 1, 2, 3]),
+                ms(4, &[0, 1]),
+                ms(4, &[2, 3]),
+                ms(4, &[0]),
+                ms(4, &[1]),
+                ms(4, &[2]),
+                ms(4, &[3]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.member_arena_len(), 4 + 2 + 2 + 4);
+        for a in 0..f.len() {
+            assert_eq!(f.members(a), f.set(a).to_vec().as_slice(), "set {a}");
+            for (pos, &i) in f.members(a).iter().enumerate() {
+                assert_eq!(f.member_pos(a, i), Some(pos));
+            }
+        }
+        assert_eq!(f.member_pos(1, 2), None, "machine 2 not in {{0,1}}");
+        assert_eq!(f.member_base(0), 0);
+        assert_eq!(f.member_base(1), 4);
     }
 
     #[test]

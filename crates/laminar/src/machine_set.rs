@@ -23,13 +23,17 @@ impl MachineSet {
         MachineSet { universe, words: vec![0; Self::words_for(universe)] }
     }
 
-    /// The full universe `{0, …, m−1}`.
+    /// The full universe `{0, …, m−1}` — whole words at a time (plus a
+    /// masked tail), not bit-by-bit insertion.
     pub fn full(universe: usize) -> Self {
-        let mut s = Self::empty(universe);
-        for i in 0..universe {
-            s.insert(i);
+        let mut words = vec![u64::MAX; Self::words_for(universe)];
+        let tail = universe % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
         }
-        s
+        MachineSet { universe, words }
     }
 
     /// The singleton `{i}`.
@@ -108,6 +112,19 @@ impl MachineSet {
     pub fn is_disjoint(&self, other: &Self) -> bool {
         self.check_universe(other);
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// `self ∩ other ≠ ∅` — a single word-level sweep with early exit,
+    /// used by the flattened laminar view's validation pass.
+    pub fn intersects(&self, other: &Self) -> bool {
+        self.check_universe(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// The backing 64-bit words (little-endian over machine indices).
+    /// Exposed for word-level consumers such as the laminar arena view.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 
     /// Set union.
@@ -247,6 +264,30 @@ mod tests {
         assert_eq!(f.len(), 70);
         let r = MachineSet::from_range(10, 3, 7);
         assert_eq!(r.to_vec(), vec![3, 4, 5, 6]);
+    }
+
+    /// The word-filled `full` agrees with bit-by-bit insertion at every
+    /// word-boundary-adjacent universe size (including the masked tail).
+    #[test]
+    fn full_matches_insertion_at_boundaries() {
+        for m in [0usize, 1, 63, 64, 65, 127, 128, 129, 1024] {
+            let fast = MachineSet::full(m);
+            let slow = MachineSet::from_iter(m, 0..m);
+            assert_eq!(fast, slow, "universe {m}");
+            assert_eq!(fast.len(), m);
+            assert!(!fast.contains(m), "no bits beyond the universe");
+        }
+    }
+
+    #[test]
+    fn intersects_is_negated_disjoint() {
+        let a = MachineSet::from_iter(130, [0, 64, 129]);
+        let b = MachineSet::from_iter(130, [64]);
+        let c = MachineSet::from_iter(130, [1, 65]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersects(&c), !a.is_disjoint(&c));
+        assert!(!MachineSet::empty(130).intersects(&a));
     }
 
     #[test]

@@ -20,11 +20,17 @@ pub struct BnbOptions {
     /// Stop at the first integral feasible solution (pure feasibility /
     /// decision problems — the paper's binary-searched (IP-3)).
     pub first_feasible: bool,
+    /// Re-solve each child node's relaxation warm from the parent
+    /// node's optimal basis ([`LinearProgram::solve_warm`]) instead of
+    /// cold. A child differs from its parent by one equality row, so the
+    /// parent basis is typically a handful of dual pivots from optimal.
+    /// On by default; turn off to reproduce the cold pivot paths.
+    pub warm_start: bool,
 }
 
 impl Default for BnbOptions {
     fn default() -> Self {
-        BnbOptions { node_limit: 200_000, first_feasible: false }
+        BnbOptions { node_limit: 200_000, first_feasible: false, warm_start: true }
     }
 }
 
@@ -69,10 +75,13 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
     let mut nodes = 0usize;
     let mut hit_limit = false;
 
-    // Each stack entry is a list of (var, value) fixings.
-    let mut stack: Vec<Vec<(usize, bool)>> = vec![Vec::new()];
+    // Each stack entry is a list of (var, value) fixings plus the
+    // optimal basis of the parent node's relaxation (warm-start hint;
+    // fixing rows are equalities, so the column layout is unchanged and
+    // the parent basis points at valid columns of the child).
+    let mut stack: Vec<(Vec<(usize, bool)>, Option<Vec<usize>>)> = vec![(Vec::new(), None)];
 
-    while let Some(fixings) = stack.pop() {
+    while let Some((fixings, parent_basis)) = stack.pop() {
         if nodes >= opts.node_limit {
             hit_limit = true;
             break;
@@ -84,7 +93,10 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
             let rhs = if val { Q::one() } else { Q::zero() };
             node_lp.add_constraint(vec![(var, Q::one())], Relation::Eq, rhs);
         }
-        let relax = node_lp.solve();
+        let relax = match &parent_basis {
+            Some(hint) if opts.warm_start => node_lp.solve_warm(hint),
+            _ => node_lp.solve(),
+        };
         match relax.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
@@ -148,14 +160,16 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
             }
             Some((v, _)) => {
                 // Explore the branch nearest the LP value first (pushed
-                // last → popped first).
+                // last → popped first). Both children warm-start from
+                // this node's optimal basis, if any.
+                let hint = (relax.status == LpStatus::Optimal).then(|| relax.basis.clone());
                 let prefer_one = relax.status == LpStatus::Optimal && relax.values[v] >= half;
                 let mut near = fixings.clone();
                 let mut far = fixings;
                 near.push((v, prefer_one));
                 far.push((v, !prefer_one));
-                stack.push(far);
-                stack.push(near);
+                stack.push((far, hint.clone()));
+                stack.push((near, hint));
             }
         }
     }
@@ -258,6 +272,25 @@ mod tests {
         assert_eq!(sol.values[1], q(1));
     }
 
+    /// Warm-started and cold branch-and-bound prove the same optimum
+    /// (the trees may differ — the proof may not).
+    #[test]
+    fn warm_start_agrees_with_cold() {
+        let mut lp = LinearProgram::new(5);
+        for v in 0..5 {
+            lp.set_objective(v, q(-(v as i64 + 2)));
+        }
+        lp.add_constraint((0..5).map(|v| (v, q(v as i64 + 1))).collect(), Relation::Le, q(7));
+        lp.add_constraint(vec![(0, q(1)), (2, q(1)), (4, q(1))], Relation::Le, q(2));
+        let binary: Vec<usize> = (0..5).collect();
+        let warm = solve_binary(&lp, &binary, &BnbOptions::default());
+        let cold =
+            solve_binary(&lp, &binary, &BnbOptions { warm_start: false, ..Default::default() });
+        assert_eq!(warm.status, MilpStatus::Optimal);
+        assert_eq!(cold.status, MilpStatus::Optimal);
+        assert_eq!(warm.objective, cold.objective);
+    }
+
     #[test]
     fn node_limit_reported() {
         // Fractional at the root (Σx = 5/2) so branching is required; a
@@ -271,7 +304,7 @@ mod tests {
         let sol = solve_binary(
             &lp,
             &[0, 1, 2, 3, 4, 5],
-            &BnbOptions { node_limit: 1, first_feasible: false },
+            &BnbOptions { node_limit: 1, ..Default::default() },
         );
         assert_eq!(sol.status, MilpStatus::NodeLimit);
     }

@@ -1,0 +1,318 @@
+//! Exact factorized representation of a simplex basis.
+//!
+//! The revised simplex ([`revised`](crate::revised)) never maintains a
+//! transformed tableau. Instead it keeps the basis inverse `B⁻¹` in
+//! *product form*: a sequence of elementary eta matrices produced by a
+//! sparsity-ordered Gaussian elimination of the basis columns (the
+//! (re)factorization — the exact-arithmetic analogue of an LU factor),
+//! followed by one eta per simplex pivot since the last refactorization
+//! (the Bartels–Golub/Forrest–Tomlin-style update file). Solves against
+//! the basis are
+//!
+//! * **FTRAN** — `x = B⁻¹ a` (the transformed entering column / the
+//!   transformed right-hand side), applying the etas in order, and
+//! * **BTRAN** — `y = B⁻ᵀ c` (the simplex multipliers used for pricing,
+//!   and unit rows for the artificial-cleanup and dual-ratio scans),
+//!   applying the transposed etas in reverse.
+//!
+//! Everything is exact `Q` arithmetic: a factorization is *only* a
+//! change of representation, so refactorizing at any point cannot change
+//! any value the simplex ever compares — the pivot path is independent
+//! of the refactorization schedule (a unit test in `revised.rs` pins
+//! this).
+
+use numeric::Q;
+
+/// A sparse vector over row slots: `(slot, value)` pairs, ascending.
+pub(crate) type SVec = Vec<(usize, Q)>;
+
+/// One elementary transformation `E⁻¹`: applying it to `x` performs
+/// `x[pivot] ← x[pivot] / u[pivot]` followed by
+/// `x[i] ← x[i] − u[i] · x[pivot]` for every other stored entry.
+#[derive(Clone, Debug)]
+pub(crate) struct Eta {
+    pivot: usize,
+    /// Nonzero entries of the pivot column `u`, including the pivot
+    /// entry itself; ascending by slot.
+    col: SVec,
+}
+
+impl Eta {
+    fn pivot_value(&self) -> &Q {
+        &self.col[self.col.binary_search_by_key(&self.pivot, |e| e.0).expect("pivot stored")].1
+    }
+
+    /// Forward application (`x ← E⁻¹ x`) on a dense vector.
+    fn apply(&self, x: &mut [Q]) {
+        if x[self.pivot].is_zero() {
+            return;
+        }
+        let t = x[self.pivot].clone() / self.pivot_value().clone();
+        for (i, v) in &self.col {
+            if *i != self.pivot && !v.is_zero() {
+                x[*i] = x[*i].clone() - v.clone() * t.clone();
+            }
+        }
+        x[self.pivot] = t;
+    }
+
+    /// Transposed application (`y ← E⁻ᵀ y`) on a dense vector: only the
+    /// pivot component changes, to `(y_p − Σ_{i≠p} u_i y_i) / u_p`.
+    fn apply_transposed(&self, y: &mut [Q]) {
+        let mut acc = y[self.pivot].clone();
+        for (i, v) in &self.col {
+            if *i != self.pivot && !y[*i].is_zero() {
+                acc -= v.clone() * y[*i].clone();
+            }
+        }
+        y[self.pivot] = acc / self.pivot_value().clone();
+    }
+}
+
+/// Product-form factorization of a basis: `B⁻¹ = U · P · F` where `F` is
+/// the eta product from the last (re)factorization, `P` the row
+/// permutation its pivot choices induced, and `U` the per-pivot update
+/// etas appended since.
+#[derive(Clone, Debug)]
+pub(crate) struct Factorization {
+    m: usize,
+    /// Etas from the last refactorization, in application order.
+    factor: Vec<Eta>,
+    /// `perm[slot]` = position the factorization pivots left that slot's
+    /// value in; `None` while the factorization is the identity.
+    perm: Option<Vec<usize>>,
+    /// Update etas appended by simplex pivots, in application order.
+    updates: Vec<Eta>,
+    factor_nnz: usize,
+    update_nnz: usize,
+}
+
+impl Factorization {
+    /// The identity basis (`B = I`): no etas at all.
+    pub(crate) fn identity(m: usize) -> Self {
+        Factorization {
+            m,
+            factor: Vec::new(),
+            perm: None,
+            updates: Vec::new(),
+            factor_nnz: 0,
+            update_nnz: 0,
+        }
+    }
+
+    pub(crate) fn update_count(&self) -> usize {
+        self.updates.len()
+    }
+
+    pub(crate) fn update_nnz(&self) -> usize {
+        self.update_nnz
+    }
+
+    pub(crate) fn factor_nnz(&self) -> usize {
+        self.factor_nnz
+    }
+
+    /// `x = B⁻¹ a` for a sparse `a`, written into `out` (resized dense).
+    pub(crate) fn ftran_sparse(&self, a: &SVec, out: &mut Vec<Q>) {
+        out.clear();
+        out.resize(self.m, Q::zero());
+        for (i, v) in a {
+            out[*i] = v.clone();
+        }
+        self.ftran_inplace(out);
+    }
+
+    /// `x ← B⁻¹ x` on an already-dense vector of length `m`.
+    pub(crate) fn ftran_inplace(&self, x: &mut Vec<Q>) {
+        debug_assert_eq!(x.len(), self.m);
+        for eta in &self.factor {
+            eta.apply(x);
+        }
+        if let Some(perm) = &self.perm {
+            let mut permuted = vec![Q::zero(); self.m];
+            for (slot, &pos) in perm.iter().enumerate() {
+                permuted[slot] = std::mem::take(&mut x[pos]);
+            }
+            *x = permuted;
+        }
+        for eta in &self.updates {
+            eta.apply(x);
+        }
+    }
+
+    /// `y ← B⁻ᵀ y` on a dense vector of length `m` (slot space in,
+    /// constraint space out).
+    pub(crate) fn btran_inplace(&self, y: &mut Vec<Q>) {
+        debug_assert_eq!(y.len(), self.m);
+        for eta in self.updates.iter().rev() {
+            eta.apply_transposed(y);
+        }
+        if let Some(perm) = &self.perm {
+            let mut permuted = vec![Q::zero(); self.m];
+            for (slot, &pos) in perm.iter().enumerate() {
+                permuted[pos] = std::mem::take(&mut y[slot]);
+            }
+            *y = permuted;
+        }
+        for eta in self.factor.iter().rev() {
+            eta.apply_transposed(y);
+        }
+    }
+
+    /// Record a simplex pivot at `(slot, u)` where `u = B⁻¹ A_q` is the
+    /// transformed entering column (dense). `u[slot]` must be nonzero.
+    pub(crate) fn append_update(&mut self, slot: usize, u: &[Q]) {
+        debug_assert!(!u[slot].is_zero(), "pivot element must be nonzero");
+        let col: SVec = u
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        self.update_nnz += col.len();
+        self.updates.push(Eta { pivot: slot, col });
+    }
+
+    /// Rebuild `F`/`P` from scratch out of the given basis columns
+    /// (`cols[slot]` = the original-space column basic in `slot`) and
+    /// clear the update file. Columns are eliminated sparsest-first with
+    /// free row-pivot choice (unit pivots preferred) — the sparsity
+    /// heuristic of an LU refactorization. Panics if the columns are
+    /// singular, which a legal pivot sequence can never produce.
+    pub(crate) fn refactor(&mut self, cols: &[&SVec]) {
+        assert_eq!(cols.len(), self.m, "one basis column per row slot");
+        self.factor.clear();
+        self.updates.clear();
+        self.perm = None;
+        self.factor_nnz = 0;
+        self.update_nnz = 0;
+        let mut perm = vec![usize::MAX; self.m];
+        let mut pivoted = vec![false; self.m];
+        let mut order: Vec<usize> = (0..self.m).collect();
+        order.sort_by_key(|&s| (cols[s].len(), s));
+        let mut x: Vec<Q> = Vec::new();
+        for slot in order {
+            let pos = self
+                .eliminate(cols[slot], &pivoted, &mut x)
+                .expect("basis columns of a legal pivot sequence are independent");
+            perm[slot] = pos;
+            pivoted[pos] = true;
+        }
+        self.perm = Some(perm);
+    }
+
+    /// One elimination step shared by [`refactor`](Self::refactor) and
+    /// the warm-start crash: apply the factor etas built so far to `col`,
+    /// pick a pivot position among the still-unpivoted slots (unit
+    /// pivots preferred, then smallest index), append the eta, and
+    /// return the chosen position — or `None` if the column is dependent
+    /// on the already-eliminated ones.
+    pub(crate) fn eliminate(
+        &mut self,
+        col: &SVec,
+        pivoted: &[bool],
+        x: &mut Vec<Q>,
+    ) -> Option<usize> {
+        debug_assert!(self.perm.is_none() && self.updates.is_empty(), "crash-phase only");
+        x.clear();
+        x.resize(self.m, Q::zero());
+        for (i, v) in col {
+            x[*i] = v.clone();
+        }
+        for eta in &self.factor {
+            eta.apply(x);
+        }
+        let mut pos = None;
+        for (i, v) in x.iter().enumerate() {
+            if pivoted[i] || v.is_zero() {
+                continue;
+            }
+            if v.is_one() || *v == -Q::one() {
+                pos = Some(i);
+                break;
+            }
+            if pos.is_none() {
+                pos = Some(i);
+            }
+        }
+        let pos = pos?;
+        let eta_col: SVec = x
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_zero())
+            .map(|(i, v)| (i, v.clone()))
+            .collect();
+        self.factor_nnz += eta_col.len();
+        self.factor.push(Eta { pivot: pos, col: eta_col });
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    /// Factor a dense 3×3 and check FTRAN/BTRAN against hand inverses.
+    #[test]
+    fn ftran_btran_roundtrip() {
+        // B = [[2,0,1],[0,1,0],[0,1,3]] (columns in slot order).
+        let cols: Vec<SVec> =
+            vec![vec![(0, q(2))], vec![(1, q(1)), (2, q(1))], vec![(0, q(1)), (2, q(3))]];
+        let mut f = Factorization::identity(3);
+        f.refactor(&cols.iter().collect::<Vec<_>>());
+        // B⁻¹ B e_k = e_k for every basis column.
+        let mut x = Vec::new();
+        for (k, c) in cols.iter().enumerate() {
+            f.ftran_sparse(c, &mut x);
+            for (i, v) in x.iter().enumerate() {
+                assert_eq!(*v, if i == k { Q::one() } else { Q::zero() }, "col {k} slot {i}");
+            }
+        }
+        // BTRAN: Bᵀ y = c  ⇔  y = B⁻ᵀ c; verify Bᵀ y = c.
+        let mut y = vec![q(3), q(-1), q(5)];
+        let c = y.clone();
+        f.btran_inplace(&mut y);
+        for (k, col) in cols.iter().enumerate() {
+            let mut acc = Q::zero();
+            for (i, v) in col {
+                acc += v.clone() * y[*i].clone();
+            }
+            assert_eq!(acc, c[k], "col {k}");
+        }
+    }
+
+    /// Update etas compose with the factorization exactly.
+    #[test]
+    fn update_after_refactor() {
+        let cols: Vec<SVec> = vec![vec![(0, q(1)), (1, q(1))], vec![(1, q(2))]];
+        let mut f = Factorization::identity(2);
+        f.refactor(&cols.iter().collect::<Vec<_>>());
+        // Replace slot 1's column by a = (1, 3): u = B⁻¹ a.
+        let a: SVec = vec![(0, q(1)), (1, q(3))];
+        let mut u = Vec::new();
+        f.ftran_sparse(&a, &mut u);
+        f.append_update(1, &u);
+        // Now FTRAN(a) must be e_1 and FTRAN(old col 0) still e_0.
+        let mut x = Vec::new();
+        f.ftran_sparse(&a, &mut x);
+        assert_eq!(x, vec![Q::zero(), Q::one()]);
+        f.ftran_sparse(&cols[0], &mut x);
+        assert_eq!(x, vec![Q::one(), Q::zero()]);
+    }
+
+    #[test]
+    fn dependent_column_detected() {
+        let mut f = Factorization::identity(2);
+        let c1: SVec = vec![(0, q(1)), (1, q(2))];
+        let c2: SVec = vec![(0, q(2)), (1, q(4))];
+        let mut pivoted = vec![false; 2];
+        let mut x = Vec::new();
+        let p1 = f.eliminate(&c1, &pivoted, &mut x).unwrap();
+        pivoted[p1] = true;
+        assert_eq!(f.eliminate(&c2, &pivoted, &mut x), None, "2·c1 is dependent");
+    }
+}

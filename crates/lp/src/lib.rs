@@ -21,14 +21,26 @@
 //! Bland's pivoting rule guarantees termination even on the (highly
 //! degenerate) scheduling polytopes that arise from pruned assignment
 //! constraints.
+//!
+//! Three pivot-identical implementations coexist (see [`Solver`]): the
+//! production [revised simplex](crate::Solver::Revised) against an exact
+//! LU-factorized basis with eta updates, and the earlier
+//! [sparse](crate::Solver::Sparse) / [dense](crate::Solver::Dense)
+//! tableau solvers retained as differential references. Warm starts
+//! ([`LinearProgram::solve_warm`], [`WarmCache`]) re-solve related
+//! programs from a previous basis — the hot path of every binary search
+//! on the horizon `T`.
 
 mod bnb;
+mod factor;
 mod problem;
+mod revised;
 mod simplex;
 mod sparse;
 
 pub use bnb::{solve_binary, BnbOptions, MilpSolution, MilpStatus};
 pub use problem::{Constraint, LinearProgram, Relation};
+pub use revised::{RevisedOptions, RevisedStats, WarmCache};
 pub use simplex::{LpSolution, LpStatus, Solver};
 
 #[cfg(test)]

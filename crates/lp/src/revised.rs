@@ -1,0 +1,856 @@
+//! Revised simplex with an exact LU-factorized basis — the production
+//! solver at scale.
+//!
+//! The dense and sparse solvers in this crate maintain the transformed
+//! tableau `B⁻¹A` explicitly: every pivot rewrites every touched row, and
+//! on the paper's decision LPs the rows fill in rapidly once the basis
+//! outgrows a few hundred rows. The revised method never materializes
+//! the tableau. It keeps the original constraint matrix in sparse column
+//! form, represents `B⁻¹` as a [`Factorization`] (a sparsity-ordered
+//! exact elimination of the basis columns, refactorized on a
+//! fill/pivot-count trigger, plus one eta per pivot since), and derives
+//! everything the simplex compares on demand:
+//!
+//! * **pricing** — one BTRAN for the multipliers `y = B⁻ᵀ c_B`, then
+//!   reduced costs `c_j − y·A_j` column by column in Bland order with
+//!   early exit at the first negative;
+//! * **ratio test** — one FTRAN for the transformed entering column;
+//! * **basic values** — `x_B` updated incrementally per pivot, exactly
+//!   as the tableau updates its right-hand side.
+//!
+//! Because all of these are the *same exact rational values* the
+//! dense/sparse tableaus maintain, and the Bland entering rule and ratio
+//! tie-break are verbatim the same, the revised solver takes the
+//! identical pivot path and returns bit-identical vertices — the
+//! differential tests assert equality of status, objective, values, and
+//! basis across all three implementations.
+//!
+//! [`LinearProgram::solve_warm`] is also implemented here: the hinted
+//! columns are crashed into a basis by one exact factorization pass
+//! (instead of `m` full-tableau Gaussian pivots), a zero-objective dual
+//! simplex repairs primal feasibility, and a final primal phase
+//! optimizes the real objective. A [`WarmCache`] carried across related
+//! solves (the binary-search probes on the horizon `T`) additionally
+//! reuses the *parent factorization* wholesale whenever the hinted basis
+//! columns are unchanged in the new program, skipping even the crash.
+
+use numeric::Q;
+
+use crate::factor::{Factorization, SVec};
+use crate::problem::{LinearProgram, Relation};
+use crate::simplex::{LpSolution, LpStatus};
+use crate::sparse::assemble;
+
+/// Marker for a row slot whose basic variable is a *virtual* identity
+/// column (a redundant row discovered by the warm-start crash; the
+/// tableau solvers delete such rows instead).
+const VIRTUAL: usize = usize::MAX;
+
+/// Tuning knobs for the refactorization trigger.
+#[derive(Clone, Debug)]
+pub struct RevisedOptions {
+    /// Refactorize after this many eta updates (pivot-count trigger).
+    pub refactor_interval: usize,
+    /// Refactorize when the update file's nonzeros exceed
+    /// `refactor_fill_factor · (m + factorization nonzeros)` (fill
+    /// trigger).
+    pub refactor_fill_factor: usize,
+}
+
+impl Default for RevisedOptions {
+    fn default() -> Self {
+        RevisedOptions { refactor_interval: 64, refactor_fill_factor: 4 }
+    }
+}
+
+/// Counters reported by [`LinearProgram::solve_revised_with`]; the
+/// refactorization count is what the trigger test pins.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RevisedStats {
+    /// Simplex pivots performed (all phases, including warm repair).
+    pub pivots: usize,
+    /// Basis refactorizations triggered after the initial factorization.
+    pub refactorizations: usize,
+}
+
+/// Persistent warm-start state for a sequence of *related* solves (same
+/// constraint skeleton, drifting right-hand sides / pruned entries — the
+/// binary-search-on-`T` access pattern). Owned by the caller, threaded
+/// through [`LinearProgram::solve_warm_cached`].
+#[derive(Default, Debug, Clone)]
+pub struct WarmCache {
+    /// Basis hint from the previous solve (internal column indices).
+    hint: Vec<usize>,
+    /// Fully-slotted state for factorization reuse, stored only by warm
+    /// solves that ended with a clean (virtual-free) basis.
+    reuse: Option<ReuseState>,
+    factor_reuses: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ReuseState {
+    m: usize,
+    cols: usize,
+    /// Basic column per slot (no [`VIRTUAL`] entries).
+    basis: Vec<usize>,
+    factor: Factorization,
+    /// The basis columns' contents when `factor` was built — reuse is
+    /// valid iff the new program's columns match exactly.
+    snapshot: Vec<SVec>,
+}
+
+impl WarmCache {
+    /// An empty cache: the first `solve_warm_cached` runs cold.
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// Whether a hint is available (i.e. at least one solve happened).
+    pub fn is_warm(&self) -> bool {
+        !self.hint.is_empty()
+    }
+
+    /// How many of the warm solves so far reused the previous
+    /// factorization outright (diagnostics for the probe hot paths).
+    pub fn factor_reuses(&self) -> usize {
+        self.factor_reuses
+    }
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// The revised-simplex working state: original columns + factorized
+/// basis + incrementally maintained basic values.
+struct Core<'a> {
+    m: usize,
+    /// Sparse columns of the full assembled matrix (structural, slack,
+    /// and — for cold solves — artificial columns).
+    a_cols: &'a [SVec],
+    /// Basic column per row slot ([`VIRTUAL`] = virtual identity).
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    /// `x_B = B⁻¹ b` per slot — the tableau's right-hand side.
+    xb: Vec<Q>,
+    factor: Factorization,
+    opts: RevisedOptions,
+    stats: RevisedStats,
+    /// Scratch for FTRAN results.
+    u: Vec<Q>,
+}
+
+impl<'a> Core<'a> {
+    /// `y = B⁻ᵀ e_slot` (a unit BTRAN: the transformed row `slot`).
+    fn btran_unit(&self, slot: usize) -> Vec<Q> {
+        let mut y = vec![Q::zero(); self.m];
+        y[slot] = Q::one();
+        self.factor.btran_inplace(&mut y);
+        y
+    }
+
+    /// `y = B⁻ᵀ c_B` for a cost vector over columns.
+    fn btran_costs(&self, cost: &[Q]) -> Vec<Q> {
+        let mut y = vec![Q::zero(); self.m];
+        let mut any = false;
+        for (slot, &b) in self.basis.iter().enumerate() {
+            if b != VIRTUAL && !cost[b].is_zero() {
+                y[slot] = cost[b].clone();
+                any = true;
+            }
+        }
+        if any {
+            self.factor.btran_inplace(&mut y);
+        }
+        y
+    }
+
+    /// Reduced cost of column `j` under multipliers `y`.
+    fn reduced_cost(&self, cost: &[Q], y: &[Q], j: usize) -> Q {
+        let mut r = cost[j].clone();
+        for (i, v) in &self.a_cols[j] {
+            if !y[*i].is_zero() {
+                r -= v.clone() * y[*i].clone();
+            }
+        }
+        r
+    }
+
+    /// Entry `(B⁻¹ A_j)[slot]` given the unit BTRAN `rho` of `slot`.
+    fn transformed_entry(&self, rho: &[Q], j: usize) -> Q {
+        let mut d = Q::zero();
+        for (i, v) in &self.a_cols[j] {
+            if !rho[*i].is_zero() {
+                d += v.clone() * rho[*i].clone();
+            }
+        }
+        d
+    }
+
+    /// FTRAN the original column `j` into the scratch vector.
+    fn ftran_col(&mut self, j: usize) {
+        let mut u = std::mem::take(&mut self.u);
+        self.factor.ftran_sparse(&self.a_cols[j], &mut u);
+        self.u = u;
+    }
+
+    /// Ratio test over `u` (the FTRAN scratch): minimal `x_B[i]/u_i`
+    /// over `u_i > 0`, ties to the smallest basic column index — the
+    /// Bland tie-break all solvers in this crate share.
+    fn ratio_test(&self) -> Option<usize> {
+        let mut leave: Option<(usize, Q)> = None;
+        for (i, ui) in self.u.iter().enumerate() {
+            if !ui.is_positive() {
+                continue;
+            }
+            let ratio = self.xb[i].clone() / ui.clone();
+            match &leave {
+                None => leave = Some((i, ratio)),
+                Some((best_i, best)) => {
+                    if ratio < *best || (ratio == *best && self.basis[i] < self.basis[*best_i]) {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+        }
+        leave.map(|(i, _)| i)
+    }
+
+    /// Pivot: column `enter` becomes basic in `slot`. `self.u` must hold
+    /// the transformed entering column; its `slot` entry must be nonzero
+    /// (either sign — the warm crash and dual repair pivot on negatives).
+    fn pivot(&mut self, slot: usize, enter: usize) {
+        let t = self.xb[slot].clone() / self.u[slot].clone();
+        if !t.is_zero() {
+            for (i, ui) in self.u.iter().enumerate() {
+                if i != slot && !ui.is_zero() {
+                    self.xb[i] = self.xb[i].clone() - ui.clone() * t.clone();
+                }
+            }
+        }
+        self.xb[slot] = t;
+        let old = self.basis[slot];
+        if old != VIRTUAL {
+            self.in_basis[old] = false;
+        }
+        self.basis[slot] = enter;
+        self.in_basis[enter] = true;
+        self.factor.append_update(slot, &self.u);
+        self.stats.pivots += 1;
+        self.maybe_refactor();
+    }
+
+    /// Fill/pivot-count refactorization trigger.
+    fn maybe_refactor(&mut self) {
+        let f = &self.factor;
+        let fill_cap = self.opts.refactor_fill_factor * (self.m + f.factor_nnz());
+        if f.update_count() < self.opts.refactor_interval && f.update_nnz() <= fill_cap {
+            return;
+        }
+        self.refactor();
+    }
+
+    /// Unconditional refactorization from the current basis columns.
+    fn refactor(&mut self) {
+        // Virtual slots contribute identity columns.
+        let virt: Vec<SVec> = (0..self.m).map(|s| vec![(s, Q::one())]).collect();
+        let cols: Vec<&SVec> = self
+            .basis
+            .iter()
+            .enumerate()
+            .map(|(s, &b)| if b == VIRTUAL { &virt[s] } else { &self.a_cols[b] })
+            .collect();
+        self.factor.refactor(&cols);
+        self.stats.refactorizations += 1;
+    }
+
+    /// One primal simplex phase minimizing `cost` over `allowed`
+    /// columns; Bland's rule throughout, exactly as the tableau solvers.
+    fn run_phase(&mut self, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> PhaseOutcome {
+        loop {
+            let y = self.btran_costs(cost);
+            // Bland: entering = smallest allowed column with negative
+            // reduced cost (basic columns price to exactly zero — skip).
+            let mut enter = None;
+            for j in 0..self.a_cols.len() {
+                if !allowed(j) || self.in_basis[j] {
+                    continue;
+                }
+                if self.reduced_cost(cost, &y, j).is_negative() {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            let Some(enter) = enter else {
+                return PhaseOutcome::Optimal;
+            };
+            self.ftran_col(enter);
+            let Some(slot) = self.ratio_test() else {
+                return PhaseOutcome::Unbounded;
+            };
+            self.pivot(slot, enter);
+        }
+    }
+}
+
+impl LinearProgram {
+    /// Cold two-phase revised-simplex solve; pivot-identical to the
+    /// dense and sparse tableau implementations.
+    pub(crate) fn solve_revised(&self) -> LpSolution {
+        self.solve_revised_with(&RevisedOptions::default()).0
+    }
+
+    /// [`solve_revised`](Self::solve_revised) with explicit
+    /// refactorization knobs, reporting pivot/refactorization counters.
+    /// The returned solution is independent of the options — a
+    /// refactorization is a change of representation only, which the
+    /// trigger test pins by forcing multiple reinversions.
+    pub fn solve_revised_with(&self, opts: &RevisedOptions) -> (LpSolution, RevisedStats) {
+        let n = self.num_vars;
+        let (srows, rels, rhs) = assemble(self);
+        let m = srows.len();
+
+        // Column layout: structural | slacks/surplus | artificials —
+        // identical to the tableau assembly.
+        let n_slack = rels.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let art_start = n + n_slack;
+        let n_art = rels.iter().filter(|r| matches!(r, Relation::Ge | Relation::Eq)).count();
+        let cols = art_start + n_art;
+
+        let mut a_cols: Vec<SVec> = vec![Vec::new(); cols];
+        for (i, row) in srows.iter().enumerate() {
+            for (j, v) in row {
+                a_cols[*j].push((i, v.clone()));
+            }
+        }
+        let mut basis = vec![VIRTUAL; m];
+        let mut in_basis = vec![false; cols];
+        let (mut next_slack, mut next_art) = (n, art_start);
+        for (i, rel) in rels.iter().enumerate() {
+            match rel {
+                Relation::Le => {
+                    a_cols[next_slack].push((i, Q::one()));
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    a_cols[next_slack].push((i, -Q::one()));
+                    next_slack += 1;
+                    a_cols[next_art].push((i, Q::one()));
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                Relation::Eq => {
+                    a_cols[next_art].push((i, Q::one()));
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+            in_basis[basis[i]] = true;
+        }
+
+        // Initial basis is the identity (slacks and artificials all +1).
+        let mut core = Core {
+            m,
+            a_cols: &a_cols,
+            basis,
+            in_basis,
+            xb: rhs,
+            factor: Factorization::identity(m),
+            opts: opts.clone(),
+            stats: RevisedStats::default(),
+            u: Vec::new(),
+        };
+        let mut dead = vec![false; m];
+
+        // --- Phase 1: minimize the sum of artificials. -------------------
+        if n_art > 0 {
+            let mut phase1_cost = vec![Q::zero(); cols];
+            for c in phase1_cost.iter_mut().skip(art_start) {
+                *c = Q::one();
+            }
+            match core.run_phase(&phase1_cost, &|_| true) {
+                PhaseOutcome::Unbounded => {
+                    unreachable!("phase-1 objective is bounded below by 0")
+                }
+                PhaseOutcome::Optimal => {}
+            }
+            let infeas: Q = Q::sum(
+                core.basis
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b >= art_start)
+                    .map(|(i, _)| &core.xb[i])
+                    .collect::<Vec<_>>(),
+            );
+            if infeas.is_positive() {
+                return (LpSolution::failed(LpStatus::Infeasible, n), core.stats);
+            }
+            // Drive remaining (degenerate, zero-valued) artificials out,
+            // pivoting on the smallest real column with a nonzero
+            // transformed entry — or mark the row dead when the whole
+            // transformed row is zero over real columns (the tableau
+            // solvers delete such rows; a dead row's entries stay zero
+            // under every later pivot, so keeping it cannot change the
+            // pivot path).
+            for i in 0..m {
+                if core.basis[i] < art_start {
+                    continue;
+                }
+                debug_assert!(core.xb[i].is_zero());
+                let rho = core.btran_unit(i);
+                let piv = (0..art_start).find(|&j| !core.transformed_entry(&rho, j).is_zero());
+                match piv {
+                    Some(j) => {
+                        core.ftran_col(j);
+                        debug_assert!(!core.u[i].is_zero());
+                        core.pivot(i, j);
+                    }
+                    None => dead[i] = true,
+                }
+            }
+        }
+
+        // --- Phase 2: minimize the real objective over real columns. -----
+        let mut cost = self.objective.clone();
+        cost.resize(cols, Q::zero());
+        if let PhaseOutcome::Unbounded = core.run_phase(&cost, &|j| j < art_start) {
+            return (LpSolution::failed(LpStatus::Unbounded, n), core.stats);
+        }
+
+        (self.extract_revised(&core, &dead), core.stats)
+    }
+
+    /// Read the structural solution out of a finished core, skipping
+    /// dead rows so the reported basis matches the tableau solvers'
+    /// (which physically delete redundant rows).
+    fn extract_revised(&self, core: &Core<'_>, dead: &[bool]) -> LpSolution {
+        let n = self.num_vars;
+        let mut values = vec![Q::zero(); n];
+        let mut basis = Vec::with_capacity(core.m);
+        for (i, &bcol) in core.basis.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            if bcol < n {
+                values[bcol] = core.xb[i].clone();
+            }
+            basis.push(bcol);
+        }
+        let objective_value = self.objective_at(&values);
+        LpSolution { status: LpStatus::Optimal, objective_value, values, basis, num_structural: n }
+    }
+
+    /// Warm-started revised solve from a basis hint. See
+    /// [`solve_warm`](Self::solve_warm) for the contract; this is its
+    /// implementation, optionally threading a [`WarmCache`] for
+    /// factorization reuse across related programs.
+    fn solve_warm_revised(&self, hint: &[usize], mut cache: Option<&mut WarmCache>) -> LpSolution {
+        let n = self.num_vars;
+        let (srows, rels, rhs) = assemble(self);
+        let m = srows.len();
+        let n_slack = rels.iter().filter(|r| !matches!(r, Relation::Eq)).count();
+        let cols = n + n_slack;
+
+        let mut a_cols: Vec<SVec> = vec![Vec::new(); cols];
+        for (i, row) in srows.iter().enumerate() {
+            for (j, v) in row {
+                a_cols[*j].push((i, v.clone()));
+            }
+        }
+        // Slack columns in row order, matching the cold layout so hints
+        // from cold solutions point at the same columns.
+        let mut next_slack = n;
+        for (i, rel) in rels.iter().enumerate() {
+            match rel {
+                Relation::Le => {
+                    a_cols[next_slack].push((i, Q::one()));
+                    next_slack += 1;
+                }
+                Relation::Ge => {
+                    a_cols[next_slack].push((i, -Q::one()));
+                    next_slack += 1;
+                }
+                Relation::Eq => {}
+            }
+        }
+
+        // --- Obtain a factorized starting basis. -------------------------
+        // Either reuse the parent factorization (hinted basis columns
+        // unchanged in this program) or crash the hint by one exact
+        // elimination pass, completing with further columns and, for
+        // genuinely redundant rows, virtual identity columns.
+        let mut dead = vec![false; m];
+        // Move (not clone) a valid cached state out: the field is
+        // rebuilt on every successful solve anyway, and a failed solve
+        // conservatively invalidates it (the basis hint survives).
+        let reused = match cache.as_deref_mut() {
+            Some(c) => {
+                let valid = c.reuse.as_ref().is_some_and(|r| {
+                    r.m == m
+                        && r.cols == cols
+                        && r.basis.iter().zip(&r.snapshot).all(|(&b, snap)| a_cols[b] == *snap)
+                });
+                if valid {
+                    c.factor_reuses += 1;
+                    c.reuse.take()
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+        // Validated (basis, snapshot) held back for the end-of-solve
+        // cache refresh: if no pivot moved the basis, the snapshot is
+        // still exact and the per-column clone pass can be skipped.
+        let mut prior_snapshot: Option<(Vec<usize>, Vec<SVec>)> = None;
+        let (basis, in_basis, factor) = match reused {
+            Some(r) => {
+                let mut in_basis = vec![false; cols];
+                for &b in &r.basis {
+                    in_basis[b] = true;
+                }
+                prior_snapshot = Some((r.basis.clone(), r.snapshot));
+                (r.basis, in_basis, r.factor)
+            }
+            None => {
+                let mut factor = Factorization::identity(m);
+                let mut basis = vec![VIRTUAL; m];
+                let mut in_basis = vec![false; cols];
+                let mut pivoted = vec![false; m];
+                let mut left = m;
+                let mut scratch = Vec::new();
+                let mut wanted: Vec<usize> = hint.iter().copied().filter(|&c| c < cols).collect();
+                wanted.sort_unstable();
+                wanted.dedup();
+                for c in wanted.into_iter().chain(0..cols) {
+                    if left == 0 {
+                        break;
+                    }
+                    if in_basis[c] {
+                        continue;
+                    }
+                    if let Some(p) = factor.eliminate(&a_cols[c], &pivoted, &mut scratch) {
+                        pivoted[p] = true;
+                        basis[p] = c;
+                        in_basis[c] = true;
+                        left -= 1;
+                    }
+                }
+                // Rows no real column can pivot: virtual identity
+                // columns (the redundant/inconsistent rows the tableau
+                // warm solver deletes or rejects).
+                for p in 0..m {
+                    if left == 0 {
+                        break;
+                    }
+                    if pivoted[p] {
+                        continue;
+                    }
+                    let unit: SVec = vec![(p, Q::one())];
+                    if let Some(pp) = factor.eliminate(&unit, &pivoted, &mut scratch) {
+                        pivoted[pp] = true;
+                        dead[pp] = true;
+                        left -= 1;
+                    }
+                }
+                debug_assert_eq!(left, 0, "identity columns always complete a basis");
+                (basis, in_basis, factor)
+            }
+        };
+
+        let mut xb = rhs;
+        factor.ftran_inplace(&mut xb);
+        // A virtual-basic slot with a nonzero value is an inconsistent
+        // zero row: Σ (zero coefficients)·x = b ≠ 0.
+        for (i, is_dead) in dead.iter().enumerate() {
+            if *is_dead && !xb[i].is_zero() {
+                return LpSolution::failed(LpStatus::Infeasible, n);
+            }
+        }
+
+        let mut core = Core {
+            m,
+            a_cols: &a_cols,
+            basis,
+            in_basis,
+            xb,
+            factor,
+            opts: RevisedOptions::default(),
+            stats: RevisedStats::default(),
+            u: Vec::new(),
+        };
+
+        // --- Dual-simplex repair of b ≥ 0 (zero objective: any basis is
+        // dual-feasible; Bland selections are the classic anti-cycling
+        // dual rule).
+        let pivot_cap = 64 * (m + cols) + 1024;
+        let mut pivots = 0usize;
+        while let Some(row) =
+            (0..m).filter(|&i| core.xb[i].is_negative()).min_by_key(|&i| core.basis[i])
+        {
+            let rho = core.btran_unit(row);
+            let enter = (0..cols)
+                .filter(|&j| !core.in_basis[j])
+                .find(|&j| core.transformed_entry(&rho, j).is_negative());
+            let Some(enter) = enter else {
+                // Σ (nonnegative coeffs)·x = b < 0 over x ≥ 0: infeasible.
+                return LpSolution::failed(LpStatus::Infeasible, n);
+            };
+            core.ftran_col(enter);
+            debug_assert!(core.u[row].is_negative());
+            core.pivot(row, enter);
+            pivots += 1;
+            if pivots > pivot_cap {
+                // Safety valve: exactness is preserved either way, the
+                // cold solve is simply the slower sure thing.
+                return self.solve();
+            }
+        }
+
+        // --- Primal phase for the real objective. ------------------------
+        let mut cost = self.objective.clone();
+        cost.resize(cols, Q::zero());
+        if let PhaseOutcome::Unbounded = core.run_phase(&cost, &|_| true) {
+            return LpSolution::failed(LpStatus::Unbounded, n);
+        }
+
+        let sol = self.extract_revised(&core, &dead);
+        if let Some(c) = cache {
+            c.hint = sol.basis.clone();
+            c.reuse = if dead.iter().any(|&d| d) {
+                // A basis with virtual columns is only valid against
+                // this exact program; don't offer it for reuse.
+                None
+            } else {
+                let snapshot: Vec<SVec> = match prior_snapshot {
+                    Some((basis, snap)) if basis == core.basis => snap,
+                    _ => core.basis.iter().map(|&b| core.a_cols[b].clone()).collect(),
+                };
+                Some(ReuseState { m, cols, basis: core.basis, factor: core.factor, snapshot })
+            };
+        }
+        sol
+    }
+
+    /// Warm-started solve from a basis hint.
+    ///
+    /// `hint` is a set of column indices (structural and slack columns in
+    /// this program's layout; out-of-range and artificial indices are
+    /// ignored) — typically [`LpSolution::basis`] from a previous solve of
+    /// a *related* program: same constraint skeleton, possibly different
+    /// right-hand sides or coefficient values (the `T`-dependent parts of
+    /// a feasibility probe). The hinted columns are crashed into a basis
+    /// by one exact factorization pass, a zero-objective dual simplex
+    /// repairs primal feasibility, and a final primal phase optimizes
+    /// the real objective. The solve is exact regardless of hint
+    /// quality; a useless hint just degenerates to more pivots, and an
+    /// anti-cycling safety cap falls back to the cold solve.
+    ///
+    /// Note: unlike [`solve`](Self::solve), the returned vertex may be a
+    /// *different* optimal basic solution than the cold solver's (the
+    /// pivot path depends on the hint). Status and objective value always
+    /// agree.
+    pub fn solve_warm(&self, hint: &[usize]) -> LpSolution {
+        self.solve_warm_revised(hint, None)
+    }
+
+    /// [`solve_warm`](Self::solve_warm) with an explicit implementation
+    /// choice. [`Solver::Sparse`] runs the tableau-based warm solver
+    /// retained as a differential reference; [`Solver::Dense`] has no
+    /// warm path and also maps to the sparse reference.
+    pub fn solve_warm_with(&self, hint: &[usize], solver: crate::Solver) -> LpSolution {
+        match solver {
+            crate::Solver::Revised => self.solve_warm_revised(hint, None),
+            crate::Solver::Sparse | crate::Solver::Dense => self.solve_warm_sparse(hint),
+        }
+    }
+
+    /// [`solve_warm`](Self::solve_warm) driven by a persistent
+    /// [`WarmCache`]: the first call solves cold; later calls warm-start
+    /// from the previous basis and, when the hinted basis columns are
+    /// unchanged in the new program, reuse the previous factorization
+    /// outright (no crash at all) — the intended mode for binary-search
+    /// feasibility probes.
+    pub fn solve_warm_cached(&self, cache: &mut WarmCache) -> LpSolution {
+        if cache.is_warm() {
+            let hint = std::mem::take(&mut cache.hint);
+            let sol = self.solve_warm_revised(&hint, Some(cache));
+            if cache.hint.is_empty() {
+                cache.hint = hint; // failed solve: keep the old hint
+            }
+            sol
+        } else {
+            let sol = self.solve();
+            if sol.status == LpStatus::Optimal {
+                cache.hint = sol.basis.clone();
+            }
+            sol
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Relation as R;
+    use crate::simplex::Solver;
+
+    fn q(v: i64) -> Q {
+        Q::from_int(v)
+    }
+
+    fn qr(p: i64, d: i64) -> Q {
+        Q::ratio(p, d)
+    }
+
+    /// The revised solver is pivot-identical to the tableau solvers on
+    /// every handcrafted reference program.
+    fn assert_identical(lp: &LinearProgram) {
+        let d = lp.solve_with(Solver::Dense);
+        let s = lp.solve_with(Solver::Sparse);
+        let r = lp.solve_with(Solver::Revised);
+        assert_eq!(d.status, r.status);
+        assert_eq!(s.status, r.status);
+        if r.status == LpStatus::Optimal {
+            assert_eq!(d.objective_value, r.objective_value);
+            assert_eq!(d.values, r.values, "pivot-identical vertices");
+            assert_eq!(d.basis, r.basis, "pivot-identical bases");
+        }
+    }
+
+    fn reference_programs() -> Vec<LinearProgram> {
+        let mut out = Vec::new();
+        // Bounded optimum with mixed relations.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-2));
+        lp.set_objective(1, q(-3));
+        lp.add_constraint(vec![(0, q(1)), (1, q(2))], R::Le, q(14));
+        lp.add_constraint(vec![(0, q(3)), (1, q(-1))], R::Ge, q(0));
+        lp.add_constraint(vec![(0, q(1)), (1, q(-1))], R::Le, q(2));
+        out.push(lp);
+        // Negative rhs normalization.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(-1))], R::Le, q(-3));
+        out.push(lp);
+        // Redundant equalities (dead-row path).
+        let mut lp = LinearProgram::new(2);
+        lp.add_constraint(vec![(0, q(1)), (1, q(1))], R::Eq, q(4));
+        lp.add_constraint(vec![(0, q(2)), (1, q(2))], R::Eq, q(8));
+        lp.set_objective(0, q(1));
+        out.push(lp);
+        // Infeasible.
+        let mut lp = LinearProgram::new(1);
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(5));
+        lp.add_constraint(vec![(0, q(1))], R::Le, q(3));
+        out.push(lp);
+        // Unbounded.
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(-1));
+        out.push(lp);
+        // Beale's degenerate LP (anti-cycling path).
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, qr(-3, 4));
+        lp.set_objective(1, q(150));
+        lp.set_objective(2, qr(-1, 50));
+        lp.set_objective(3, q(6));
+        lp.add_constraint(
+            vec![(0, qr(1, 4)), (1, q(-60)), (2, qr(-1, 25)), (3, q(9))],
+            R::Le,
+            q(0),
+        );
+        lp.add_constraint(
+            vec![(0, qr(1, 2)), (1, q(-90)), (2, qr(-1, 50)), (3, q(3))],
+            R::Le,
+            q(0),
+        );
+        lp.add_constraint(vec![(2, q(1))], R::Le, q(1));
+        out.push(lp);
+        out
+    }
+
+    #[test]
+    fn matches_tableaus_on_reference_programs() {
+        for lp in reference_programs() {
+            assert_identical(&lp);
+        }
+    }
+
+    /// Forcing the refactorization trigger (≥ 2 reinversions in one
+    /// solve) cannot change the answer: a refactorization is a change of
+    /// representation, not of any compared value.
+    #[test]
+    fn refactorization_trigger_is_representation_only() {
+        // A chain of coupled constraints that takes a healthy number of
+        // pivots, plus Beale's degenerate program.
+        let mut chain = LinearProgram::new(6);
+        for v in 0..6 {
+            chain.set_objective(v, q(-(v as i64 + 1)));
+        }
+        for c in 0..6 {
+            let coeffs: Vec<(usize, Q)> =
+                (0..6).map(|v| (v, q(1 + ((c + v) % 3) as i64))).collect();
+            chain.add_constraint(coeffs, R::Le, q(10 + c as i64));
+        }
+        chain.add_constraint(vec![(0, q(1)), (3, q(1))], R::Ge, q(1));
+        for lp in [chain, reference_programs().remove(5)] {
+            let (default, _) = lp.solve_revised_with(&RevisedOptions::default());
+            // Refactor after every pivot (fill factor 0 makes any update
+            // nonzero exceed the cap).
+            let tight = RevisedOptions { refactor_interval: 1, refactor_fill_factor: 0 };
+            let (forced, stats) = lp.solve_revised_with(&tight);
+            assert!(
+                stats.refactorizations >= 2,
+                "expected ≥ 2 reinversions, got {} over {} pivots",
+                stats.refactorizations,
+                stats.pivots
+            );
+            assert_eq!(default.status, forced.status);
+            assert_eq!(default.objective_value, forced.objective_value);
+            assert_eq!(default.values, forced.values, "refactorization changed the vertex");
+            assert_eq!(default.basis, forced.basis, "refactorization changed the basis");
+            // And both agree with the sparse tableau reference.
+            let sparse = lp.solve_with(Solver::Sparse);
+            assert_eq!(sparse.status, forced.status);
+            if sparse.status == LpStatus::Optimal {
+                assert_eq!(sparse.values, forced.values);
+            }
+        }
+    }
+
+    /// A persistent cache reuses the parent factorization when only the
+    /// right-hand sides move — the binary-search-probe access pattern.
+    #[test]
+    fn warm_cache_reuses_factorization_across_rhs_changes() {
+        let build = |cap: i64| {
+            let mut lp = LinearProgram::new(3);
+            lp.set_objective(0, q(1));
+            lp.add_constraint(vec![(0, q(1)), (1, q(1)), (2, q(1))], R::Eq, q(3));
+            for v in 0..3 {
+                lp.add_constraint(vec![(v, q(1))], R::Le, q(cap));
+            }
+            lp
+        };
+        let mut cache = WarmCache::new();
+        for cap in [5i64, 4, 3, 2] {
+            let lp = build(cap);
+            let warm = lp.solve_warm_cached(&mut cache);
+            let cold = lp.solve();
+            assert_eq!(warm.status, cold.status, "cap {cap}");
+            assert_eq!(warm.objective_value, cold.objective_value, "cap {cap}");
+            assert!(lp.is_feasible_point(&warm.values));
+        }
+        assert!(
+            cache.factor_reuses() >= 1,
+            "rhs-only drift must reuse the parent factorization at least once"
+        );
+        // An infeasible probe leaves the cache usable.
+        let infeasible = build(0).solve_warm_cached(&mut cache);
+        assert_eq!(infeasible.status, LpStatus::Infeasible);
+        let again = build(4).solve_warm_cached(&mut cache);
+        assert_eq!(again.status, LpStatus::Optimal);
+        assert_eq!(again.objective_value, q(0));
+    }
+}

@@ -175,19 +175,22 @@ fn run_phase(t: &mut Tableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> Ph
     }
 }
 
-/// Which simplex implementation to run; both are exact and follow the
+/// Which simplex implementation to run; all are exact and follow the
 /// same Bland pivoting rules, so they return *identical* solutions.
 ///
-/// [`Sparse`](Solver::Sparse) is the production solver (sparse rows, no
-/// dense tableau); [`Dense`](Solver::Dense) is the original reference
-/// implementation, kept for the differential test suite.
+/// [`Revised`](Solver::Revised) is the production solver (LU-factorized
+/// basis, eta updates, BTRAN/FTRAN pricing — no transformed tableau at
+/// all); [`Sparse`](Solver::Sparse) and [`Dense`](Solver::Dense) are the
+/// earlier tableau implementations, retained as differential references.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Solver {
     /// Dense two-phase tableau (reference implementation).
     Dense,
-    /// Sparse-row two-phase tableau (default).
-    #[default]
+    /// Sparse-row two-phase tableau (second reference).
     Sparse,
+    /// Revised simplex against an exact factorized basis (default).
+    #[default]
+    Revised,
 }
 
 impl LinearProgram {
@@ -195,7 +198,7 @@ impl LinearProgram {
     ///
     /// Returns a basic feasible (vertex) solution when the status is
     /// [`LpStatus::Optimal`]. Termination is guaranteed by Bland's rule.
-    /// Runs the default (sparse) solver; see [`Solver`] and
+    /// Runs the default (revised) solver; see [`Solver`] and
     /// [`solve_with`](Self::solve_with).
     pub fn solve(&self) -> LpSolution {
         self.solve_with(Solver::default())
@@ -206,6 +209,7 @@ impl LinearProgram {
         match solver {
             Solver::Dense => self.solve_dense(),
             Solver::Sparse => self.solve_sparse(),
+            Solver::Revised => self.solve_revised(),
         }
     }
 

@@ -181,8 +181,9 @@ fn run_phase(t: &mut SparseTableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool)
 }
 
 /// Rows in normalized sparse form: `b ≥ 0` with relations flipped
-/// accordingly — identical to the dense assembly.
-fn assemble(lp: &LinearProgram) -> (Vec<SRow>, Vec<Relation>, Vec<Q>) {
+/// accordingly — identical to the dense assembly. Shared with the
+/// revised solver, which builds its column view from these rows.
+pub(crate) fn assemble(lp: &LinearProgram) -> (Vec<SRow>, Vec<Relation>, Vec<Q>) {
     let n = lp.num_vars;
     let m = lp.constraints.len();
     let mut rows: Vec<SRow> = Vec::with_capacity(m);
@@ -334,22 +335,13 @@ impl LinearProgram {
         self.extract(t)
     }
 
-    /// Warm-started sparse solve from a basis hint.
-    ///
-    /// `hint` is a set of column indices (structural and slack columns in
-    /// this program's layout; out-of-range and artificial indices are
-    /// ignored) — typically [`LpSolution::basis`] from a previous solve of
-    /// a *related* program: same constraint skeleton, possibly different
-    /// right-hand sides or coefficient values (the `T`-dependent parts of
-    /// a feasibility probe). The solve is exact regardless of hint
-    /// quality; a useless hint just degenerates to more pivots, and an
-    /// anti-cycling safety cap falls back to the cold sparse solve.
-    ///
-    /// Note: unlike [`solve`](Self::solve), the returned vertex may be a
-    /// *different* optimal basic solution than the cold solver's (the
-    /// pivot path depends on the hint). Status and objective value always
-    /// agree.
-    pub fn solve_warm(&self, hint: &[usize]) -> LpSolution {
+    /// Warm-started *sparse-tableau* solve from a basis hint — the
+    /// reference implementation behind
+    /// [`solve_warm_with`](Self::solve_warm_with); the production warm
+    /// path is the factorized one in [`solve_warm`](Self::solve_warm).
+    /// Same contract as `solve_warm`: exact for any hint, anti-cycling
+    /// cap falls back to the cold sparse solve.
+    pub(crate) fn solve_warm_sparse(&self, hint: &[usize]) -> LpSolution {
         let n = self.num_vars;
         let (srows, rels, rhs) = assemble(self);
         let m = srows.len();

@@ -1,14 +1,17 @@
-//! Differential tests: the sparse production solver and the warm-started
-//! solver against the dense reference implementation.
+//! Differential tests: the revised (factorized-basis) production solver,
+//! the sparse tableau, and the warm-started solvers against the dense
+//! reference implementation.
 //!
-//! The sparse solver is written to be *pivot-identical* to the dense one
-//! (same assembly, same Bland rules), so on top of the status/objective
-//! agreement the ISSUE asks for we can assert the stronger property that
-//! the returned vertices are equal. The warm solver takes a different
-//! pivot path by design, so for it we assert semantic agreement: same
-//! status, same optimal objective, feasible vertex, vertex support bound.
+//! The sparse and revised solvers are written to be *pivot-identical* to
+//! the dense one (same assembly, same Bland rules, same ratio
+//! tie-break), so on top of the status/objective agreement the ISSUE
+//! asks for we can assert the stronger property that the returned
+//! vertices — and bases — are equal across all three. The warm solvers
+//! take a different pivot path by design, so for them we assert semantic
+//! agreement: same status, same optimal objective, feasible vertex,
+//! vertex support bound.
 
-use lp::{LinearProgram, LpStatus, Relation, Solver};
+use lp::{LinearProgram, LpStatus, Relation, Solver, WarmCache};
 use numeric::Q;
 use proptest::prelude::*;
 
@@ -52,9 +55,10 @@ fn random_lp(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// Dense and sparse agree bit-for-bit on random mixed-relation LPs.
+    /// Dense, sparse, and revised agree bit-for-bit on random
+    /// mixed-relation LPs — status, objective, vertex, and basis.
     #[test]
-    fn sparse_matches_dense_exactly(
+    fn revised_and_sparse_match_dense_exactly(
         nv in 1usize..5,
         n_cons in 0usize..6,
         objs in proptest::collection::vec(-4i64..5, 5),
@@ -64,13 +68,15 @@ proptest! {
     ) {
         let lp = random_lp(nv, &objs, &coefs, &rels, &rhss, n_cons);
         let dense = lp.solve_with(Solver::Dense);
-        let sparse = lp.solve_with(Solver::Sparse);
-        prop_assert_eq!(dense.status, sparse.status);
-        if dense.status == LpStatus::Optimal {
-            prop_assert_eq!(&dense.objective_value, &sparse.objective_value);
-            prop_assert_eq!(&dense.values, &sparse.values, "vertices must be identical");
-            prop_assert_eq!(&dense.basis, &sparse.basis, "bases must be identical");
-            prop_assert!(lp.is_feasible_point(&sparse.values));
+        for solver in [Solver::Sparse, Solver::Revised] {
+            let other = lp.solve_with(solver);
+            prop_assert_eq!(dense.status, other.status, "{:?}", solver);
+            if dense.status == LpStatus::Optimal {
+                prop_assert_eq!(&dense.objective_value, &other.objective_value);
+                prop_assert_eq!(&dense.values, &other.values, "vertices must be identical ({:?})", solver);
+                prop_assert_eq!(&dense.basis, &other.basis, "bases must be identical ({:?})", solver);
+                prop_assert!(lp.is_feasible_point(&other.values));
+            }
         }
     }
 
@@ -98,14 +104,18 @@ proptest! {
             Vec::new(),
         ];
         for hint in hints {
-            let warm = lp.solve_warm(&hint);
-            prop_assert_eq!(reference.status, warm.status, "hint {:?}", &hint);
-            if reference.status == LpStatus::Optimal {
-                prop_assert_eq!(&reference.objective_value, &warm.objective_value);
-                prop_assert!(lp.is_feasible_point(&warm.values));
-                // Vertex property: ≤ one positive variable per row.
-                let positive = warm.values.iter().filter(|v| v.is_positive()).count();
-                prop_assert!(positive <= lp.num_constraints());
+            // Both warm implementations: the factorized production one
+            // and the sparse-tableau reference.
+            for solver in [Solver::Revised, Solver::Sparse] {
+                let warm = lp.solve_warm_with(&hint, solver);
+                prop_assert_eq!(reference.status, warm.status, "hint {:?} ({:?})", &hint, solver);
+                if reference.status == LpStatus::Optimal {
+                    prop_assert_eq!(&reference.objective_value, &warm.objective_value);
+                    prop_assert!(lp.is_feasible_point(&warm.values));
+                    // Vertex property: ≤ one positive variable per row.
+                    let positive = warm.values.iter().filter(|v| v.is_positive()).count();
+                    prop_assert!(positive <= lp.num_constraints());
+                }
             }
         }
     }
@@ -139,6 +149,19 @@ proptest! {
         if cold.status == LpStatus::Optimal {
             prop_assert_eq!(&cold.objective_value, &warm.objective_value);
             prop_assert!(perturbed.is_feasible_point(&warm.values));
+        }
+        // The cached path (cold → warm → warm, factorization reuse when
+        // the basis columns are unchanged) agrees at every step.
+        let mut cache = WarmCache::new();
+        for shift in [0i64, delta, delta.saturating_sub(1)] {
+            let lp = build(shift);
+            let cached = lp.solve_warm_cached(&mut cache);
+            let reference = lp.solve_with(Solver::Dense);
+            prop_assert_eq!(reference.status, cached.status, "shift {}", shift);
+            if reference.status == LpStatus::Optimal {
+                prop_assert_eq!(&reference.objective_value, &cached.objective_value);
+                prop_assert!(lp.is_feasible_point(&cached.values));
+            }
         }
     }
 }

@@ -94,10 +94,10 @@ proptest! {
         let t = Q::from(asg.minimal_integral_horizon(&inst).expect("finite"));
         let loads = allocate_loads(&inst, &asg, &t).expect("feasible");
         for a in 0..inst.family().len() {
-            let placed = Q::sum(loads.load[a].iter());
+            let placed = Q::sum(loads.set_loads(a).iter());
             prop_assert_eq!(placed, asg.volume_on(&inst, a));
             for i in 0..inst.num_machines() {
-                prop_assert!(loads.tot_load[a][i] <= t);
+                prop_assert!(loads.tot_load(a, i) <= t);
             }
             prop_assert!(shared_machines(&inst, &loads, a).len() <= 1);
         }
