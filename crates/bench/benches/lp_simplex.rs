@@ -5,7 +5,8 @@
 //! fast; set `HSCHED_BENCH_LARGE=1` to add the scale-axis rows at
 //! m ∈ {100, 256, 1024}, where the revised solver is benchmarked against
 //! the PR 2 sparse tableau (the tableau is skipped at m = 1024 — one
-//! solve alone blows the smoke budget).
+//! solve alone blows the smoke budget) and against the certified
+//! float→exact hybrid (E12).
 
 use bench::fixtures;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -45,6 +46,13 @@ fn bench_ip3_lp(c: &mut Criterion) {
                     |b, lp| b.iter(|| std::hint::black_box(lp.solve_with(Solver::Sparse))),
                 );
             }
+            // Hybrid ablation rows (E12): float proposal + one exact
+            // certification instead of exact pivoting throughout.
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("hybrid_n{n}_m{m}_vars{}", vm.len())),
+                &lp,
+                |b, lp| b.iter(|| std::hint::black_box(lp.solve_with(Solver::Hybrid))),
+            );
         }
     }
     g.finish();

@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E11).
+//! The experiment harness: regenerates every evaluation table (E1–E12).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -90,8 +90,11 @@ fn main() {
     if want("e11") {
         reports.push(ex::e11());
     }
+    if want("e12") {
+        reports.push(ex::e12());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e11 or all");
+        eprintln!("unknown experiment id; use e1..e12 or all");
         std::process::exit(2);
     }
 

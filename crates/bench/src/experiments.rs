@@ -657,6 +657,145 @@ pub fn e11_with(budget: Duration) -> Report {
     r
 }
 
+/// Default wall-clock budget for a full E12 run.
+pub const E12_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// (n, m) sizes of E12's hybrid-vs-revised cold-solve rows.
+pub const E12_LP_SIZES: [(usize, usize); 4] = [(50, 20), (64, 100), (100, 256), (64, 1024)];
+
+/// (n, m) and horizon count of E12's warm-cached probe ablation.
+pub const E12_WARM_SIZE: (usize, usize) = (100, 256);
+pub const E12_WARM_PROBES: u64 = 8;
+
+/// E12 — hybrid solver ablation: float-proposed, exactly certified bases
+/// ([`lp::Solver::Hybrid`]) against full exact pivoting
+/// ([`lp::Solver::Revised`]) on cold (IP-3) relaxations, plus the
+/// warm-cached binary-search access pattern. Reports certification
+/// success and fallback rates alongside the speedups.
+pub fn e12() -> Report {
+    e12_with(E12_DEFAULT_BUDGET)
+}
+
+/// [`e12`] under an explicit wall-clock budget: remaining rows are
+/// skipped — recording how much was covered — once the budget is spent.
+pub fn e12_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t = Table::new(&["case", "n", "m", "revised", "hybrid", "speedup", "certified"]);
+    let mut truncated = false;
+    let (mut certified, mut fallbacks) = (0usize, 0usize);
+
+    // --- Cold (IP-3) relaxations: hybrid vs revised. Agreement is
+    // *enforced*, not reported — a status/objective/vertex mismatch
+    // aborts the run (the E11 policy).
+    for (n, m) in E12_LP_SIZES {
+        if start.elapsed() > budget {
+            truncated = true;
+            break;
+        }
+        let inst = fixtures::e10_instance(n, m, 7);
+        let horizon = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+        let (lp, _) = hsched_core::formulations::build_ip3(&inst, horizon).expect("has variables");
+        let t0 = Instant::now();
+        let exact = lp.solve_with(lp::Solver::Revised);
+        let d_exact = t0.elapsed();
+        let t1 = Instant::now();
+        let (hybrid, stats) = lp.solve_hybrid();
+        let d_hybrid = t1.elapsed();
+        assert!(
+            exact.status == hybrid.status
+                && exact.objective_value == hybrid.objective_value
+                && exact.values == hybrid.values,
+            "hybrid disagrees with revised at n={n} m={m}"
+        );
+        certified += stats.hybrid_certified;
+        fallbacks += stats.hybrid_fallbacks;
+        t.row(vec![
+            "ip3 LP revised→hybrid".into(),
+            n.to_string(),
+            m.to_string(),
+            format!("{d_exact:.1?}"),
+            format!("{d_hybrid:.1?}"),
+            format!("{:.1}×", d_exact.as_secs_f64() / d_hybrid.as_secs_f64().max(1e-9)),
+            if stats.hybrid_certified > 0 { "yes".into() } else { "fallback".into() },
+        ]);
+    }
+
+    // --- Warm-cached probe sequence (the binary-search-on-T access
+    // pattern): descending horizons re-solved through a persistent
+    // cache, exact vs hybrid mode. -----------------------------------
+    let mut warm_note = None;
+    if start.elapsed() > budget {
+        truncated = true;
+    } else {
+        let (n, m) = E12_WARM_SIZE;
+        let inst = fixtures::e10_instance(n, m, 7);
+        let t0_horizon = inst.volume_lower_bound().max(inst.bottleneck_lower_bound());
+        let horizons: Vec<u64> =
+            (0..E12_WARM_PROBES).map(|k| t0_horizon + E12_WARM_PROBES - k).collect();
+        let mut cache_exact = lp::WarmCache::new();
+        let mut cache_hybrid = lp::WarmCache::with_solver(lp::Solver::Hybrid);
+        let (mut d_exact, mut d_hybrid) = (Duration::ZERO, Duration::ZERO);
+        for &h in &horizons {
+            let Some((lp, _)) = hsched_core::formulations::build_ip3(&inst, h) else {
+                continue;
+            };
+            let t0 = Instant::now();
+            let a = lp.solve_warm_cached(&mut cache_exact);
+            d_exact += t0.elapsed();
+            let t1 = Instant::now();
+            let b = lp.solve_warm_cached(&mut cache_hybrid);
+            d_hybrid += t1.elapsed();
+            assert!(
+                a.status == b.status && a.objective_value == b.objective_value,
+                "warm hybrid disagrees at horizon {h}"
+            );
+        }
+        t.row(vec![
+            format!("warm probe ×{E12_WARM_PROBES} (cached)"),
+            n.to_string(),
+            m.to_string(),
+            format!("{d_exact:.1?}"),
+            format!("{d_hybrid:.1?}"),
+            format!("{:.1}×", d_exact.as_secs_f64() / d_hybrid.as_secs_f64().max(1e-9)),
+            format!("{}/{}", cache_hybrid.hybrid_certified(), E12_WARM_PROBES),
+        ]);
+        warm_note = Some(format!(
+            "warm cache counters at ({n},{m}): {} certified, {} exact fallbacks, {} anti-cycling \
+             cap fallbacks, {} factorization reuses",
+            cache_hybrid.hybrid_certified(),
+            cache_hybrid.hybrid_fallbacks(),
+            cache_hybrid.warm_fallbacks(),
+            cache_hybrid.factor_reuses(),
+        ));
+    }
+
+    let total = certified + fallbacks;
+    let mut r = Report::new(
+        "e12",
+        "Hybrid ablation: float-proposed, exactly certified bases vs full exact pivoting",
+        t,
+    )
+    .seeds(format!(
+        "ip3 LPs from e10_instance seed 7 at (n,m) in {E12_LP_SIZES:?}; warm sweep at \
+         {E12_WARM_SIZE:?} over {E12_WARM_PROBES} descending horizons"
+    ))
+    .note(format!(
+        "cold certification success rate: {certified}/{total} ({fallbacks} exact fallbacks); \
+         agreement (status/objective/vertex vs revised) is asserted per row — a disagreement \
+         aborts the run",
+    ));
+    if let Some(note) = warm_note {
+        r = r.note(note);
+    }
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -709,6 +848,22 @@ mod tests {
         // A zero budget truncates immediately (and says so).
         let start = Instant::now();
         let r = e11_with(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// E12 must stay inside the regime that keeps `harness all`
+    /// terminating in about a minute, and its wall-clock budget must
+    /// actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e12_configuration_stays_under_budget() {
+        assert!(E12_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E12_LP_SIZES.iter().all(|&(n, m)| n <= 100 && m <= 1024));
+        assert!(E12_WARM_PROBES <= 16, "warm sweep must stay a handful of probes");
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e12_with(Duration::ZERO);
         assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
         assert!(r.render_text().contains("truncated"), "truncation must be recorded");
     }

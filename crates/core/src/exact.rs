@@ -85,6 +85,7 @@ fn probe(
             first_feasible: true,
             node_limit: opts.node_limit,
             warm_start: opts.warm_start,
+            ..BnbOptions::default()
         },
     );
     *nodes += milp.nodes;

@@ -105,7 +105,9 @@ pub fn build_ip3(instance: &Instance, t: u64) -> Option<(LinearProgram, VarMap)>
 /// optimal basis via [`lp::WarmCache`] — reusing the parent's basis
 /// *factorization* outright whenever the basic columns survive the
 /// horizon change — instead of re-running the two-phase simplex from
-/// scratch.
+/// scratch. Probes run in [`lp::Solver::Hybrid`] mode: an `f64` simplex
+/// proposes the basis and one exact factorization certifies it, with a
+/// silent exact fallback, so the answers stay exact.
 pub struct Ip3Probe<'a> {
     instance: &'a Instance,
     vm: VarMap,
@@ -123,7 +125,11 @@ impl<'a> Ip3Probe<'a> {
                 }
             }
         }
-        Ip3Probe { instance, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
+        Ip3Probe {
+            instance,
+            vm: VarMap::new(pairs),
+            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+        }
     }
 
     /// The fixed variable layout (all finite pairs, pruned or not).

@@ -220,7 +220,9 @@ pub fn schedule_hierarchical(
             let k = members[pos];
             let d = loads.load[base + pos].clone();
             if d.is_positive() {
-                stream.place(k, &t_beta, &d, t, &mut segments);
+                stream
+                    .place(k, &t_beta, &d, t, &mut segments)
+                    .map_err(|e| HierError::InvariantBroken(e.as_str()))?;
                 t_beta = (t_beta + d).rem_euclid(t);
             }
             t_at[base + pos] = t_beta.clone();

@@ -185,6 +185,8 @@ pub fn lst_assign(p: &[Vec<Option<u64>>], m: usize, t: u64) -> Option<LstAssignm
 /// optimal basis via [`lp::WarmCache`], reusing the parent basis
 /// factorization whenever the basic columns survive the horizon change,
 /// so a binary search re-solves incrementally instead of from scratch.
+/// Probes run in [`lp::Solver::Hybrid`] mode (float proposal + exact
+/// certification, exact fallback), so the answers stay exact.
 pub struct LstProbe<'a> {
     p: &'a [Vec<Option<u64>>],
     m: usize,
@@ -204,7 +206,7 @@ impl<'a> LstProbe<'a> {
                 }
             }
         }
-        LstProbe { p, m, pairs, cache: lp::WarmCache::new() }
+        LstProbe { p, m, pairs, cache: lp::WarmCache::with_solver(lp::Solver::Hybrid) }
     }
 
     /// Is the pruned LP feasible at horizon `t`? Returns exactly

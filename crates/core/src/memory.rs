@@ -223,8 +223,7 @@ fn iterative_round(
                             row.coeffs
                                 .iter()
                                 .filter(|(v, _)| fractional.contains(v))
-                                .map(|(_, a)| a)
-                                .collect::<Vec<_>>(),
+                                .map(|(_, a)| a),
                         );
                         // order rationals by value via (mass / bound)
                         (mass / row.bound.clone()).to_f64().to_bits()
@@ -331,7 +330,7 @@ pub fn model1_round(m1: &MemoryModel1, t: u64) -> Result<Model1Result, MemoryErr
     let two = Q::from_int(2);
     let outcome = iterative_round(n, &pairs, rows, &|row, remaining| {
         remaining.len() <= 2 || {
-            let mass: Q = Q::sum(remaining.iter().map(|(_, a)| a).collect::<Vec<_>>());
+            let mass: Q = Q::sum(remaining.iter().map(|(_, a)| a));
             mass <= two.clone() * row.bound.clone()
         }
     })?;
@@ -484,7 +483,7 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
     // Lemma VI.2 drop rule: remaining fractional mass ≤ ρ · b.
     let rho = m2.sigma() - Q::one();
     let outcome = iterative_round(n, &pairs, rows, &|row, remaining| {
-        let mass: Q = Q::sum(remaining.iter().map(|(_, a)| a).collect::<Vec<_>>());
+        let mass: Q = Q::sum(remaining.iter().map(|(_, a)| a));
         mass <= rho.clone() * row.bound.clone()
     })?;
 
@@ -495,13 +494,7 @@ pub fn model2_round(m2: &MemoryModel2, t: u64) -> Result<Model2Result, MemoryErr
         .expect("feasible at its own minimal horizon");
     let memory_usage: Vec<Q> = (0..fam.len())
         .map(|a| {
-            Q::sum(
-                (0..n)
-                    .filter(|&j| assignment.mask_of(j) == a)
-                    .map(|j| m2.sizes[j].clone())
-                    .collect::<Vec<_>>()
-                    .iter(),
-            )
+            Q::sum((0..n).filter(|&j| assignment.mask_of(j) == a).map(|j| m2.sizes[j].clone()))
         })
         .collect();
     Ok(Model2Result {
@@ -550,7 +543,11 @@ impl<'a> Model1Probe<'a> {
                 }
             }
         }
-        Model1Probe { m1, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
+        Model1Probe {
+            m1,
+            vm: VarMap::new(pairs),
+            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+        }
     }
 
     /// Build the fixed-layout fractional (IP-3) + (7) system at horizon `t`.
@@ -691,7 +688,11 @@ impl<'a> Model2Probe<'a> {
                 }
             }
         }
-        Model2Probe { m2, vm: VarMap::new(pairs), cache: lp::WarmCache::new() }
+        Model2Probe {
+            m2,
+            vm: VarMap::new(pairs),
+            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+        }
     }
 
     /// Build the fixed-layout fractional (IP-4) system at horizon `t`.

@@ -366,12 +366,8 @@ mod tests {
         push_down_all(&inst, &vm, &mut x, &t).unwrap();
         // Each job still sums to exactly 1.
         for j in 0..inst.num_jobs() {
-            let total: Q = Q::sum(
-                (0..inst.family().len())
-                    .filter_map(|a| vm.var(a, j))
-                    .map(|v| &x[v])
-                    .collect::<Vec<_>>(),
-            );
+            let total: Q =
+                Q::sum((0..inst.family().len()).filter_map(|a| vm.var(a, j)).map(|v| &x[v]));
             assert_eq!(total, Q::one());
         }
     }

@@ -99,26 +99,12 @@ impl Schedule {
 
     /// Total scheduled time of a job.
     pub fn job_total(&self, job: usize) -> Q {
-        Q::sum(
-            self.segments
-                .iter()
-                .filter(|s| s.job == job)
-                .map(|s| s.duration())
-                .collect::<Vec<_>>()
-                .iter(),
-        )
+        Q::sum(self.segments.iter().filter(|s| s.job == job).map(|s| s.duration()))
     }
 
     /// Total busy time of a machine.
     pub fn machine_load(&self, machine: usize) -> Q {
-        Q::sum(
-            self.segments
-                .iter()
-                .filter(|s| s.machine == machine)
-                .map(|s| s.duration())
-                .collect::<Vec<_>>()
-                .iter(),
-        )
+        Q::sum(self.segments.iter().filter(|s| s.machine == machine).map(|s| s.duration()))
     }
 
     /// Validate the schedule against the paper's definition of a *valid
@@ -164,7 +150,7 @@ impl Schedule {
                     return Err(ScheduleError::JobParallelism { job: j });
                 }
             }
-            let total = Q::sum(segs.iter().map(|s| s.duration()).collect::<Vec<_>>().iter());
+            let total = Q::sum(segs.iter().map(|s| s.duration()));
             let required = instance
                 .ptime_q(j, assignment.mask_of(j))
                 .ok_or(ScheduleError::WrongAmount { job: j })?;

@@ -31,6 +31,10 @@ pub enum SemiError {
     GlobalOverload,
     /// Some assigned processing time exceeds `T` (constraint (1d)).
     JobExceedsHorizon { job: usize },
+    /// A wrap-around placement violated one of its invariants — the
+    /// `(x, T)` certificate and the placement bookkeeping disagree, so
+    /// the (partial) schedule is discarded instead of emitted corrupt.
+    PlacementInvariant { detail: &'static str },
 }
 
 impl fmt::Display for SemiError {
@@ -50,6 +54,9 @@ impl fmt::Display for SemiError {
             }
             SemiError::JobExceedsHorizon { job } => {
                 write!(f, "job {job} has processing time > T (constraint 1d)")
+            }
+            SemiError::PlacementInvariant { detail } => {
+                write!(f, "wrap-around placement invariant violated: {detail}")
             }
         }
     }
@@ -120,7 +127,9 @@ pub fn schedule_semi_partitioned(
         let free = t.clone() - local[i].clone();
         let delta = v.clone().min(free);
         if delta.is_positive() {
-            global.place(i, &cursor, &delta, t, &mut segments);
+            global
+                .place(i, &cursor, &delta, t, &mut segments)
+                .map_err(|e| SemiError::PlacementInvariant { detail: e.as_str() })?;
             cursor = (cursor + delta.clone()).rem_euclid(t);
             v -= delta;
         }
@@ -144,7 +153,9 @@ pub fn schedule_semi_partitioned(
         let amount = stream.remaining();
         if amount.is_positive() {
             let start = if *t > Q::zero() { local_start[i].rem_euclid(t) } else { Q::zero() };
-            stream.place(i, &start, &amount, t, &mut segments);
+            stream
+                .place(i, &start, &amount, t, &mut segments)
+                .map_err(|e| SemiError::PlacementInvariant { detail: e.as_str() })?;
         }
         debug_assert!(stream.is_empty());
     }

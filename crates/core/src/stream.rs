@@ -8,6 +8,40 @@ use numeric::Q;
 
 use crate::schedule::Segment;
 
+/// Why a [`JobStream::place`] call was rejected. Each variant corresponds
+/// to an invariant that, if violated, would silently corrupt the schedule
+/// (overlapping or missing segments) and only surface much later in
+/// `Schedule::validate` — so `place` checks them in release builds too.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum PlaceError {
+    /// `start` lies outside `[0, T)`.
+    StartOutOfRange,
+    /// `amount > T`: the wrap-around interval would overlap itself.
+    AmountExceedsPeriod,
+    /// The stream ran out of pieces before `amount` units were placed.
+    StreamExhausted,
+}
+
+impl PlaceError {
+    /// Human-readable invariant description (used by callers that fold
+    /// the error into their own diagnostics).
+    pub(crate) fn as_str(self) -> &'static str {
+        match self {
+            PlaceError::StartOutOfRange => "placement start must lie in [0, T)",
+            PlaceError::AmountExceedsPeriod => "cannot place more than T units on one machine",
+            PlaceError::StreamExhausted => {
+                "stream exhausted before the requested amount was placed"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A queue of `(job, remaining units)` pieces consumed in order.
 #[derive(Clone, Debug)]
 pub(crate) struct JobStream {
@@ -23,7 +57,7 @@ impl JobStream {
 
     /// Total remaining units.
     pub(crate) fn remaining(&self) -> Q {
-        Q::sum(self.queue.iter().map(|(_, p)| p).collect::<Vec<_>>())
+        Q::sum(self.queue.iter().map(|(_, p)| p))
     }
 
     /// True iff nothing remains.
@@ -35,8 +69,11 @@ impl JobStream {
     /// time `start ∈ [0, T)` and wrapping at `T` (the paper's
     /// `[t, t + δ (mod T)]` interval). Emits segments into `out`.
     ///
-    /// Panics (debug) if `amount` exceeds what the stream holds or if the
-    /// amount exceeds `T` (which would self-overlap on the machine).
+    /// Rejects (in release builds too) a `start` outside `[0, T)`, an
+    /// `amount` above `T`, or an `amount` exceeding what the stream holds
+    /// — any of which would emit a corrupt (self-overlapping or short)
+    /// schedule. On error, `out` may hold a partial placement; callers
+    /// treat the whole schedule as poisoned.
     pub(crate) fn place(
         &mut self,
         machine: usize,
@@ -44,16 +81,19 @@ impl JobStream {
         amount: &Q,
         t: &Q,
         out: &mut Vec<Segment>,
-    ) {
-        debug_assert!(*start >= Q::zero() && *start < *t, "start must lie in [0, T)");
-        debug_assert!(*amount <= *t, "cannot place more than T units on one machine");
+    ) -> Result<(), PlaceError> {
+        if *start < Q::zero() || *start >= *t {
+            return Err(PlaceError::StartOutOfRange);
+        }
+        if *amount > *t {
+            return Err(PlaceError::AmountExceedsPeriod);
+        }
         let mut wall = start.clone();
         let mut left = amount.clone();
         while left.is_positive() {
-            let (job, piece) = self
-                .queue
-                .front_mut()
-                .expect("stream exhausted before the requested amount was placed");
+            let Some((job, piece)) = self.queue.front_mut() else {
+                return Err(PlaceError::StreamExhausted);
+            };
             let room = t.clone() - wall.clone();
             let take = piece.clone().min(left.clone()).min(room);
             debug_assert!(take.is_positive());
@@ -75,6 +115,7 @@ impl JobStream {
                 self.queue.pop_front();
             }
         }
+        Ok(())
     }
 }
 
@@ -107,7 +148,7 @@ mod tests {
     fn simple_placement() {
         let mut st = JobStream::new([(0, q(2)), (1, q(3))]);
         let mut out = Vec::new();
-        st.place(0, &q(0), &q(5), &q(10), &mut out);
+        st.place(0, &q(0), &q(5), &q(10), &mut out).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].job, 0);
         assert_eq!((out[0].start.clone(), out[0].end.clone()), (q(0), q(2)));
@@ -121,7 +162,7 @@ mod tests {
         let mut st = JobStream::new([(7, q(6))]);
         let mut out = Vec::new();
         // start at 8, T = 10 → [8,10) then [0,4)
-        st.place(1, &q(8), &q(6), &q(10), &mut out);
+        st.place(1, &q(8), &q(6), &q(10), &mut out).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!((out[0].start.clone(), out[0].end.clone()), (q(8), q(10)));
         assert_eq!((out[1].start.clone(), out[1].end.clone()), (q(0), q(4)));
@@ -132,9 +173,9 @@ mod tests {
     fn partial_placement_leaves_remainder() {
         let mut st = JobStream::new([(0, q(4))]);
         let mut out = Vec::new();
-        st.place(0, &q(0), &q(1), &q(10), &mut out);
+        st.place(0, &q(0), &q(1), &q(10), &mut out).unwrap();
         assert_eq!(st.remaining(), q(3));
-        st.place(1, &q(1), &q(3), &q(10), &mut out);
+        st.place(1, &q(1), &q(3), &q(10), &mut out).unwrap();
         assert!(st.is_empty());
         // Same job continues on machine 1 at wall time 1: no overlap.
         assert_eq!(out[1].machine, 1);
@@ -145,6 +186,31 @@ mod tests {
     fn zero_pieces_dropped() {
         let st = JobStream::new([(0, q(0)), (1, q(2))]);
         assert_eq!(st.remaining(), q(2));
+    }
+
+    /// Regression: release builds used to emit overlapping / truncated
+    /// segments on bad inputs, leaving `Schedule::validate` to find the
+    /// corruption much later. Each invariant now fails fast with a typed
+    /// error.
+    #[test]
+    fn corrupting_placements_are_rejected() {
+        // amount > T would wrap past its own start and self-overlap.
+        let mut st = JobStream::new([(0, q(20))]);
+        let mut out = Vec::new();
+        assert_eq!(
+            st.place(0, &q(0), &q(12), &q(10), &mut out),
+            Err(PlaceError::AmountExceedsPeriod)
+        );
+
+        // start outside [0, T).
+        let mut st = JobStream::new([(0, q(2))]);
+        assert_eq!(st.place(0, &q(10), &q(1), &q(10), &mut out), Err(PlaceError::StartOutOfRange));
+        assert_eq!(st.place(0, &q(-1), &q(1), &q(10), &mut out), Err(PlaceError::StartOutOfRange));
+
+        // amount exceeding the stream's remaining units.
+        let mut st = JobStream::new([(0, q(2))]);
+        let mut out = Vec::new();
+        assert_eq!(st.place(0, &q(0), &q(3), &q(10), &mut out), Err(PlaceError::StreamExhausted));
     }
 
     #[test]
@@ -164,7 +230,7 @@ mod tests {
     fn rational_amounts() {
         let mut st = JobStream::new([(0, Q::ratio(7, 3))]);
         let mut out = Vec::new();
-        st.place(0, &Q::ratio(9, 2), &Q::ratio(7, 3), &q(5), &mut out);
+        st.place(0, &Q::ratio(9, 2), &Q::ratio(7, 3), &q(5), &mut out).unwrap();
         // [9/2, 5) length 1/2, wrap, [0, 11/6)
         assert_eq!(out.len(), 2);
         assert_eq!(out[1].end, Q::ratio(11, 6));

@@ -10,7 +10,7 @@
 use numeric::Q;
 
 use crate::problem::{LinearProgram, Relation};
-use crate::simplex::LpStatus;
+use crate::simplex::{LpStatus, Solver};
 
 /// Solver knobs.
 #[derive(Clone, Debug)]
@@ -26,11 +26,21 @@ pub struct BnbOptions {
     /// parent basis is typically a handful of dual pivots from optimal.
     /// On by default; turn off to reproduce the cold pivot paths.
     pub warm_start: bool,
+    /// LP solver for the node relaxations. [`Solver::Hybrid`] certifies
+    /// float bases and falls back to the exact path, so any choice here
+    /// yields exact relaxation bounds; the default stays
+    /// [`Solver::Revised`] to keep node pivot paths bit-reproducible.
+    pub solver: Solver,
 }
 
 impl Default for BnbOptions {
     fn default() -> Self {
-        BnbOptions { node_limit: 200_000, first_feasible: false, warm_start: true }
+        BnbOptions {
+            node_limit: 200_000,
+            first_feasible: false,
+            warm_start: true,
+            solver: Solver::default(),
+        }
     }
 }
 
@@ -94,8 +104,8 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
             node_lp.add_constraint(vec![(var, Q::one())], Relation::Eq, rhs);
         }
         let relax = match &parent_basis {
-            Some(hint) if opts.warm_start => node_lp.solve_warm(hint),
-            _ => node_lp.solve(),
+            Some(hint) if opts.warm_start => node_lp.solve_warm_with(hint, opts.solver),
+            _ => node_lp.solve_with(opts.solver),
         };
         match relax.status {
             LpStatus::Infeasible => continue,
@@ -289,6 +299,29 @@ mod tests {
         assert_eq!(warm.status, MilpStatus::Optimal);
         assert_eq!(cold.status, MilpStatus::Optimal);
         assert_eq!(warm.objective, cold.objective);
+    }
+
+    /// Node relaxations through the certified hybrid solver prove the
+    /// same optimum as the default exact path.
+    #[test]
+    fn hybrid_relaxations_agree_with_exact() {
+        let mut lp = LinearProgram::new(5);
+        for v in 0..5 {
+            lp.set_objective(v, q(-(v as i64 + 2)));
+        }
+        lp.add_constraint((0..5).map(|v| (v, q(v as i64 + 1))).collect(), Relation::Le, q(7));
+        lp.add_constraint(vec![(0, q(1)), (2, q(1)), (4, q(1))], Relation::Le, q(2));
+        let binary: Vec<usize> = (0..5).collect();
+        let exact = solve_binary(&lp, &binary, &BnbOptions::default());
+        let hybrid = solve_binary(
+            &lp,
+            &binary,
+            &BnbOptions { solver: Solver::Hybrid, ..Default::default() },
+        );
+        assert_eq!(exact.status, MilpStatus::Optimal);
+        assert_eq!(hybrid.status, MilpStatus::Optimal);
+        assert_eq!(exact.objective, hybrid.objective);
+        assert_eq!(exact.values, hybrid.values, "same incumbent under identical branching");
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 mod bnb;
 mod factor;
+mod hybrid;
 mod problem;
 mod revised;
 mod simplex;

@@ -44,7 +44,7 @@ use crate::sparse::assemble;
 /// Marker for a row slot whose basic variable is a *virtual* identity
 /// column (a redundant row discovered by the warm-start crash; the
 /// tableau solvers delete such rows instead).
-const VIRTUAL: usize = usize::MAX;
+pub(crate) const VIRTUAL: usize = usize::MAX;
 
 /// Tuning knobs for the refactorization trigger.
 #[derive(Clone, Debug)]
@@ -71,6 +71,14 @@ pub struct RevisedStats {
     pub pivots: usize,
     /// Basis refactorizations triggered after the initial factorization.
     pub refactorizations: usize,
+    /// Warm solves whose anti-cycling pivot cap tripped, restarting the
+    /// program cold (exactness is unaffected; speed degrades).
+    pub warm_fallbacks: usize,
+    /// Hybrid solves whose float-proposed basis was certified exactly.
+    pub hybrid_certified: usize,
+    /// Hybrid solves that failed certification and fell back to the
+    /// exact revised solver.
+    pub hybrid_fallbacks: usize,
 }
 
 /// Persistent warm-start state for a sequence of *related* solves (same
@@ -80,29 +88,44 @@ pub struct RevisedStats {
 #[derive(Default, Debug, Clone)]
 pub struct WarmCache {
     /// Basis hint from the previous solve (internal column indices).
-    hint: Vec<usize>,
+    pub(crate) hint: Vec<usize>,
     /// Fully-slotted state for factorization reuse, stored only by warm
     /// solves that ended with a clean (virtual-free) basis.
-    reuse: Option<ReuseState>,
-    factor_reuses: usize,
+    pub(crate) reuse: Option<ReuseState>,
+    pub(crate) factor_reuses: usize,
+    /// Which solver [`LinearProgram::solve_warm_cached`] dispatches to.
+    pub(crate) solver: crate::Solver,
+    /// Warm solves that tripped the anti-cycling cap and restarted cold.
+    pub(crate) warm_fallbacks: usize,
+    /// Hybrid solves certified exactly / fallen back (hybrid caches only).
+    pub(crate) hybrid_certified: usize,
+    pub(crate) hybrid_fallbacks: usize,
 }
 
 #[derive(Debug, Clone)]
-struct ReuseState {
-    m: usize,
-    cols: usize,
+pub(crate) struct ReuseState {
+    pub(crate) m: usize,
+    pub(crate) cols: usize,
     /// Basic column per slot (no [`VIRTUAL`] entries).
-    basis: Vec<usize>,
-    factor: Factorization,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) factor: Factorization,
     /// The basis columns' contents when `factor` was built — reuse is
     /// valid iff the new program's columns match exactly.
-    snapshot: Vec<SVec>,
+    pub(crate) snapshot: Vec<SVec>,
 }
 
 impl WarmCache {
     /// An empty cache: the first `solve_warm_cached` runs cold.
     pub fn new() -> Self {
         WarmCache::default()
+    }
+
+    /// An empty cache whose [`LinearProgram::solve_warm_cached`] calls
+    /// run through `solver`. [`crate::Solver::Hybrid`] is the intended
+    /// non-default choice (float proposal + exact certification);
+    /// tableau solvers map to the default exact warm path.
+    pub fn with_solver(solver: crate::Solver) -> Self {
+        WarmCache { solver, ..WarmCache::default() }
     }
 
     /// Whether a hint is available (i.e. at least one solve happened).
@@ -114,6 +137,25 @@ impl WarmCache {
     /// factorization outright (diagnostics for the probe hot paths).
     pub fn factor_reuses(&self) -> usize {
         self.factor_reuses
+    }
+
+    /// How many warm solves tripped the anti-cycling pivot cap and
+    /// restarted cold — warm starts silently degrading used to be
+    /// invisible; callers can now watch this counter.
+    pub fn warm_fallbacks(&self) -> usize {
+        self.warm_fallbacks
+    }
+
+    /// Hybrid solves whose float basis was certified exactly (hybrid
+    /// caches only; zero otherwise).
+    pub fn hybrid_certified(&self) -> usize {
+        self.hybrid_certified
+    }
+
+    /// Hybrid solves that failed certification and fell back to the
+    /// exact solver (hybrid caches only; zero otherwise).
+    pub fn hybrid_fallbacks(&self) -> usize {
+        self.hybrid_fallbacks
     }
 }
 
@@ -381,8 +423,7 @@ impl LinearProgram {
                     .iter()
                     .enumerate()
                     .filter(|(_, &b)| b >= art_start)
-                    .map(|(i, _)| &core.xb[i])
-                    .collect::<Vec<_>>(),
+                    .map(|(i, _)| &core.xb[i]),
             );
             if infeas.is_positive() {
                 return (LpSolution::failed(LpStatus::Infeasible, n), core.stats);
@@ -446,7 +487,20 @@ impl LinearProgram {
     /// [`solve_warm`](Self::solve_warm) for the contract; this is its
     /// implementation, optionally threading a [`WarmCache`] for
     /// factorization reuse across related programs.
-    fn solve_warm_revised(&self, hint: &[usize], mut cache: Option<&mut WarmCache>) -> LpSolution {
+    fn solve_warm_revised(&self, hint: &[usize], cache: Option<&mut WarmCache>) -> LpSolution {
+        self.solve_warm_revised_capped(hint, cache, None)
+    }
+
+    /// [`solve_warm_revised`](Self::solve_warm_revised) with an explicit
+    /// anti-cycling pivot cap (`None` = the production formula). The
+    /// override exists so tests can trip the cap on small programs and
+    /// observe the counted fallback.
+    pub(crate) fn solve_warm_revised_capped(
+        &self,
+        hint: &[usize],
+        mut cache: Option<&mut WarmCache>,
+        cap_override: Option<usize>,
+    ) -> LpSolution {
         let n = self.num_vars;
         let (srows, rels, rhs) = assemble(self);
         let m = srows.len();
@@ -585,7 +639,7 @@ impl LinearProgram {
         // --- Dual-simplex repair of b ≥ 0 (zero objective: any basis is
         // dual-feasible; Bland selections are the classic anti-cycling
         // dual rule).
-        let pivot_cap = 64 * (m + cols) + 1024;
+        let pivot_cap = cap_override.unwrap_or(64 * (m + cols) + 1024);
         let mut pivots = 0usize;
         while let Some(row) =
             (0..m).filter(|&i| core.xb[i].is_negative()).min_by_key(|&i| core.basis[i])
@@ -604,7 +658,12 @@ impl LinearProgram {
             pivots += 1;
             if pivots > pivot_cap {
                 // Safety valve: exactness is preserved either way, the
-                // cold solve is simply the slower sure thing.
+                // cold solve is simply the slower sure thing. Counted so
+                // callers can see their warm starts degrading instead of
+                // the fallback being swallowed silently.
+                if let Some(c) = cache.as_deref_mut() {
+                    c.warm_fallbacks += 1;
+                }
                 return self.solve();
             }
         }
@@ -660,10 +719,13 @@ impl LinearProgram {
     /// choice. [`Solver::Sparse`] runs the tableau-based warm solver
     /// retained as a differential reference; [`Solver::Dense`] has no
     /// warm path and also maps to the sparse reference.
+    /// [`Solver::Hybrid`] runs the float proposal + exact certification
+    /// warm path, falling back to the exact warm solver.
     pub fn solve_warm_with(&self, hint: &[usize], solver: crate::Solver) -> LpSolution {
         match solver {
             crate::Solver::Revised => self.solve_warm_revised(hint, None),
             crate::Solver::Sparse | crate::Solver::Dense => self.solve_warm_sparse(hint),
+            crate::Solver::Hybrid => self.solve_hybrid_warm(hint, None).0,
         }
     }
 
@@ -674,6 +736,9 @@ impl LinearProgram {
     /// outright (no crash at all) — the intended mode for binary-search
     /// feasibility probes.
     pub fn solve_warm_cached(&self, cache: &mut WarmCache) -> LpSolution {
+        if cache.solver == crate::Solver::Hybrid {
+            return self.solve_hybrid_cached(cache);
+        }
         if cache.is_warm() {
             let hint = std::mem::take(&mut cache.hint);
             let sol = self.solve_warm_revised(&hint, Some(cache));
@@ -852,5 +917,28 @@ mod tests {
         let again = build(4).solve_warm_cached(&mut cache);
         assert_eq!(again.status, LpStatus::Optimal);
         assert_eq!(again.objective_value, q(0));
+    }
+
+    /// Tripping the warm anti-cycling cap must fall back to the cold
+    /// exact solve (same answer) and count the event in the cache.
+    #[test]
+    fn warm_cap_fallback_is_counted_and_exact() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        let cold = lp.solve();
+        let mut cache = WarmCache::new();
+        // Hinting the slack column crashes to a primal-infeasible basis
+        // (s = -3), so the dual repair needs a pivot — and a zero pivot
+        // budget trips the anti-cycling cap on that first pivot.
+        let capped = lp.solve_warm_revised_capped(&[1], Some(&mut cache), Some(0));
+        assert_eq!(cache.warm_fallbacks(), 1, "cap fallback must be recorded");
+        assert_eq!(capped.status, cold.status);
+        assert_eq!(capped.objective_value, cold.objective_value);
+        assert_eq!(capped.values, cold.values);
+        // An uncapped warm solve on the same cache does not count one.
+        let warm = lp.solve_warm_revised_capped(&cold.basis, Some(&mut cache), None);
+        assert_eq!(warm.objective_value, cold.objective_value);
+        assert_eq!(cache.warm_fallbacks(), 1);
     }
 }

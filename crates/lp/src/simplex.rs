@@ -175,13 +175,21 @@ fn run_phase(t: &mut Tableau, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> Ph
     }
 }
 
-/// Which simplex implementation to run; all are exact and follow the
-/// same Bland pivoting rules, so they return *identical* solutions.
+/// Which simplex implementation to run. [`Dense`](Solver::Dense),
+/// [`Sparse`](Solver::Sparse) and [`Revised`](Solver::Revised) are exact
+/// and follow the same Bland pivoting rules, so they return *identical*
+/// solutions.
 ///
-/// [`Revised`](Solver::Revised) is the production solver (LU-factorized
-/// basis, eta updates, BTRAN/FTRAN pricing — no transformed tableau at
-/// all); [`Sparse`](Solver::Sparse) and [`Dense`](Solver::Dense) are the
-/// earlier tableau implementations, retained as differential references.
+/// [`Revised`](Solver::Revised) is the exact production solver
+/// (LU-factorized basis, eta updates, BTRAN/FTRAN pricing — no
+/// transformed tableau at all); [`Sparse`](Solver::Sparse) and
+/// [`Dense`](Solver::Dense) are the earlier tableau implementations,
+/// retained as differential references. [`Hybrid`](Solver::Hybrid) runs
+/// an f64 simplex first and certifies the proposed basis exactly,
+/// falling back to [`Revised`](Solver::Revised) when certification
+/// fails; its status and optimal objective always match the exact
+/// solvers, but a certified vertex may be a different optimal basic
+/// solution.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Solver {
     /// Dense two-phase tableau (reference implementation).
@@ -191,6 +199,8 @@ pub enum Solver {
     /// Revised simplex against an exact factorized basis (default).
     #[default]
     Revised,
+    /// f64 revised simplex + exact certification, exact fallback.
+    Hybrid,
 }
 
 impl LinearProgram {
@@ -210,6 +220,7 @@ impl LinearProgram {
             Solver::Dense => self.solve_dense(),
             Solver::Sparse => self.solve_sparse(),
             Solver::Revised => self.solve_revised(),
+            Solver::Hybrid => self.solve_hybrid().0,
         }
     }
 
@@ -294,12 +305,7 @@ impl LinearProgram {
                 PhaseOutcome::Optimal => {}
             }
             let infeas: Q = Q::sum(
-                t.basis
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &b)| b >= art_start)
-                    .map(|(i, _)| &t.b[i])
-                    .collect::<Vec<_>>(),
+                t.basis.iter().enumerate().filter(|(_, &b)| b >= art_start).map(|(i, _)| &t.b[i]),
             );
             if infeas.is_positive() {
                 return LpSolution::failed(LpStatus::Infeasible, n);

@@ -281,12 +281,7 @@ impl LinearProgram {
                 PhaseOutcome::Optimal => {}
             }
             let infeas: Q = Q::sum(
-                t.basis
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &b)| b >= art_start)
-                    .map(|(i, _)| &t.b[i])
-                    .collect::<Vec<_>>(),
+                t.basis.iter().enumerate().filter(|(_, &b)| b >= art_start).map(|(i, _)| &t.b[i]),
             );
             if infeas.is_positive() {
                 return LpSolution::failed(LpStatus::Infeasible, n);

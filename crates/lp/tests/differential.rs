@@ -104,9 +104,9 @@ proptest! {
             Vec::new(),
         ];
         for hint in hints {
-            // Both warm implementations: the factorized production one
-            // and the sparse-tableau reference.
-            for solver in [Solver::Revised, Solver::Sparse] {
+            // All warm implementations: the factorized production one,
+            // the sparse-tableau reference, and the certified hybrid.
+            for solver in [Solver::Revised, Solver::Sparse, Solver::Hybrid] {
                 let warm = lp.solve_warm_with(&hint, solver);
                 prop_assert_eq!(reference.status, warm.status, "hint {:?} ({:?})", &hint, solver);
                 if reference.status == LpStatus::Optimal {
@@ -162,6 +162,79 @@ proptest! {
                 prop_assert_eq!(&reference.objective_value, &cached.objective_value);
                 prop_assert!(lp.is_feasible_point(&cached.values));
             }
+        }
+    }
+
+    /// The cold hybrid (float proposal + exact certification, exact
+    /// fallback) agrees with the exact revised solver bit-for-bit on
+    /// random mixed-relation LPs: its float phase mirrors the exact
+    /// Bland pivot order, so on small-integer data a certified basis is
+    /// the *same* basis and the vertex matches — and a fallback runs the
+    /// revised path verbatim.
+    #[test]
+    fn hybrid_matches_revised_exactly(
+        nv in 1usize..5,
+        n_cons in 0usize..6,
+        objs in proptest::collection::vec(-4i64..5, 5),
+        coefs in proptest::collection::vec(-3i64..4, 30),
+        rels in proptest::collection::vec(0u8..3, 6),
+        rhss in proptest::collection::vec(-6i64..12, 6),
+    ) {
+        let lp = random_lp(nv, &objs, &coefs, &rels, &rhss, n_cons);
+        let exact = lp.solve_with(Solver::Revised);
+        let hybrid = lp.solve_with(Solver::Hybrid);
+        prop_assert_eq!(exact.status, hybrid.status);
+        if exact.status == LpStatus::Optimal {
+            prop_assert_eq!(&exact.objective_value, &hybrid.objective_value);
+            prop_assert_eq!(&exact.values, &hybrid.values, "vertices must be identical");
+            prop_assert!(lp.is_feasible_point(&hybrid.values));
+        }
+    }
+
+    /// Near-degenerate stress family for the certifier: a Beale-style
+    /// cycling-prone program whose coefficients and right-hand sides are
+    /// perturbed by tiny dyadic amounts `±2^-k`. Small `k` keeps the
+    /// float path exact (dyadics are representable); `k` beyond ~30
+    /// drops the perturbation below the float tolerance, forcing wrong
+    /// proposals that certification must catch and route to the exact
+    /// fallback. Either way the hybrid must match the revised solver on
+    /// status, objective, and vertex.
+    #[test]
+    fn hybrid_survives_near_degenerate_perturbations(
+        k in 5u32..50,
+        signs in proptest::collection::vec(proptest::bool::ANY, 8),
+        perturb_rhs in proptest::bool::ANY,
+    ) {
+        let eps = Q::ratio(1, 1i64 << k.min(62));
+        let tweak = |idx: usize, base: Q| -> Q {
+            if signs[idx % signs.len()] { base + eps.clone() } else { base - eps.clone() }
+        };
+        // Beale's cycling example, perturbed.
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, tweak(0, Q::ratio(-3, 4)));
+        lp.set_objective(1, q(150));
+        lp.set_objective(2, tweak(1, Q::ratio(-1, 50)));
+        lp.set_objective(3, q(6));
+        let rhs0 = if perturb_rhs { tweak(2, Q::zero()) } else { Q::zero() };
+        let rhs1 = if perturb_rhs { tweak(3, Q::zero()) } else { Q::zero() };
+        lp.add_constraint(
+            vec![(0, tweak(4, Q::ratio(1, 4))), (1, q(-60)), (2, Q::ratio(-1, 25)), (3, q(9))],
+            Relation::Le,
+            rhs0,
+        );
+        lp.add_constraint(
+            vec![(0, Q::ratio(1, 2)), (1, q(-90)), (2, tweak(5, Q::ratio(-1, 50))), (3, q(3))],
+            Relation::Le,
+            rhs1,
+        );
+        lp.add_constraint(vec![(2, q(1))], Relation::Le, tweak(6, q(1)));
+        let exact = lp.solve_with(Solver::Revised);
+        let hybrid = lp.solve_with(Solver::Hybrid);
+        prop_assert_eq!(exact.status, hybrid.status);
+        if exact.status == LpStatus::Optimal {
+            prop_assert_eq!(&exact.objective_value, &hybrid.objective_value);
+            prop_assert_eq!(&exact.values, &hybrid.values, "k = {}", k);
+            prop_assert!(lp.is_feasible_point(&hybrid.values));
         }
     }
 }

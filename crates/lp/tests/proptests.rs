@@ -79,7 +79,7 @@ proptest! {
         // Assignment rows hold exactly.
         for j in 0..n {
             let total: Q = Q::sum(
-                (0..m).map(|i| &sol.values[j * m + i]).collect::<Vec<_>>().into_iter(),
+                (0..m).map(|i| &sol.values[j * m + i]),
             );
             prop_assert_eq!(total, Q::one());
         }

@@ -281,9 +281,24 @@ impl Rational {
     }
 
     /// Approximate `f64` value (reporting only; never drives decisions).
+    ///
+    /// `i128 → f64` is a software libcall on most targets; values that
+    /// fit in `i64` (almost all of them in practice) take the hardware
+    /// conversion instead — this sits on the hybrid solver's hot
+    /// assembly path.
     pub fn to_f64(&self) -> f64 {
         match &self.repr {
-            Repr::Small { num, den } => *num as f64 / *den as f64,
+            Repr::Small { num, den } => {
+                let n = match i64::try_from(*num) {
+                    Ok(v) => v as f64,
+                    Err(_) => *num as f64,
+                };
+                let d = match i64::try_from(*den) {
+                    Ok(v) => v as f64,
+                    Err(_) => *den as f64,
+                };
+                n / d
+            }
             Repr::Big { num, den } => num.to_f64() / den.to_f64(),
         }
     }
@@ -306,11 +321,16 @@ impl Rational {
         }
     }
 
-    /// Sum of an iterator of rationals.
-    pub fn sum<'a, I: IntoIterator<Item = &'a Rational>>(iter: I) -> Self {
+    /// Sum of an iterator of rationals (owned values or references).
+    pub fn sum<I>(iter: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: core::borrow::Borrow<Rational>,
+    {
+        use core::borrow::Borrow;
         let mut acc = Rational::zero();
         for r in iter {
-            acc += r.clone();
+            acc += r.borrow().clone();
         }
         acc
     }
