@@ -6,12 +6,13 @@
 //! m ∈ {100, 256, 1024}, where the revised solver is benchmarked against
 //! the PR 2 sparse tableau (the tableau is skipped at m = 1024 — one
 //! solve alone blows the smoke budget) and against the certified
-//! float→exact hybrid (E12).
+//! float→exact hybrid (E12), plus the n-axis pricing ablation at
+//! n = 1024 (E13: Bland's full scan vs partial-candidate vs devex).
 
 use bench::fixtures;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hsched_core::formulations::build_ip3;
-use lp::Solver;
+use lp::{Pricing, Solver};
 
 fn bench_ip3_lp(c: &mut Criterion) {
     let large = std::env::var("HSCHED_BENCH_LARGE").is_ok();
@@ -53,6 +54,27 @@ fn bench_ip3_lp(c: &mut Criterion) {
                 &lp,
                 |b, lp| b.iter(|| std::hint::black_box(lp.solve_with(Solver::Hybrid))),
             );
+        }
+        // Pricing ablation on the n axis (E13): the same hybrid solve
+        // under each entering-column strategy. Bland included here —
+        // n = 1024 is the largest point where its full scans still fit
+        // a bench budget (see `harness e13` for the 4096 rows).
+        {
+            let (n, m) = (1024usize, 1024usize);
+            let inst = fixtures::e10_instance(n, m, 7);
+            let t = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+            let (lp, vm) = build_ip3(&inst, t).expect("has variables");
+            for (tag, pricing) in [
+                ("bland", Pricing::Bland),
+                ("partial", Pricing::PartialCandidate),
+                ("devex", Pricing::Devex),
+            ] {
+                g.bench_with_input(
+                    BenchmarkId::from_parameter(format!("hybrid_{tag}_n{n}_m{m}_vars{}", vm.len())),
+                    &lp,
+                    |b, lp| b.iter(|| std::hint::black_box(lp.solve_hybrid_priced(pricing))),
+                );
+            }
         }
     }
     g.finish();

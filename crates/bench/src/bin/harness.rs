@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E12).
+//! The experiment harness: regenerates every evaluation table (E1–E13).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -93,8 +93,11 @@ fn main() {
     if want("e12") {
         reports.push(ex::e12());
     }
+    if want("e13") {
+        reports.push(ex::e13());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e12 or all");
+        eprintln!("unknown experiment id; use e1..e13 or all");
         std::process::exit(2);
     }
 

@@ -796,6 +796,134 @@ pub fn e12_with(budget: Duration) -> Report {
     r
 }
 
+/// Default wall-clock budget for a full E13 run.
+pub const E13_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// (n, m) sizes of E13's pricing-ablation rows — the n axis at fixed
+/// large m, one and four thousand jobs.
+pub const E13_SIZES: [(usize, usize); 2] = [(1024, 1024), (4096, 1024)];
+
+/// n at or above which the Bland baseline row is skipped by design: its
+/// in-order full scans are exactly the wall this experiment
+/// demonstrates (hundreds of millions of reduced-cost evaluations per
+/// solve already at n = 1024, an order of magnitude more at 4096).
+pub const E13_BLAND_CUTOFF: usize = 4096;
+
+/// E13 — simplex pricing ablation on the n axis: Bland's full in-order
+/// scan vs the partial-candidate list and devex reference weights
+/// ([`lp::Pricing`]) on cold hybrid (IP-3) relaxation solves. The
+/// counters make the mechanism visible: all strategies pivot a similar
+/// number of times, but the candidate strategies price orders of
+/// magnitude fewer columns per entering-variable decision.
+pub fn e13() -> Report {
+    e13_with(E13_DEFAULT_BUDGET)
+}
+
+/// [`e13`] under an explicit wall-clock budget: remaining rows are
+/// skipped — recording how much was covered — once the budget is spent.
+pub fn e13_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t = Table::new(&[
+        "case",
+        "n",
+        "m",
+        "pricing",
+        "time",
+        "cols priced",
+        "refills",
+        "resets",
+        "certified",
+    ]);
+    let mut truncated = false;
+    let mut notes: Vec<String> = Vec::new();
+
+    'sizes: for (n, m) in E13_SIZES {
+        if start.elapsed() > budget {
+            truncated = true;
+            break;
+        }
+        let inst = fixtures::e10_instance(n, m, 7);
+        let horizon = inst.volume_lower_bound().max(inst.bottleneck_lower_bound()) + 2;
+        let (lp, vm) = hsched_core::formulations::build_ip3(&inst, horizon).expect("has variables");
+        // Agreement across strategies is *enforced*, not reported — a
+        // status/objective mismatch aborts the run (the E11 policy; the
+        // vertex may legitimately differ between pricing rules).
+        let mut reference: Option<(lp::LpStatus, Q)> = None;
+        let mut bland_priced: Option<usize> = None;
+        for pricing in [lp::Pricing::Bland, lp::Pricing::PartialCandidate, lp::Pricing::Devex] {
+            if pricing == lp::Pricing::Bland && n >= E13_BLAND_CUTOFF {
+                notes.push(format!(
+                    "Bland baseline skipped by design at n={n} (the full-scan wall; \
+                     see the n={} rows for the measured baseline)",
+                    E13_SIZES[0].0
+                ));
+                continue;
+            }
+            if start.elapsed() > budget {
+                truncated = true;
+                break 'sizes;
+            }
+            let t0 = Instant::now();
+            let (sol, stats) = lp.solve_hybrid_priced(pricing);
+            let d = t0.elapsed();
+            match &reference {
+                None => reference = Some((sol.status, sol.objective_value.clone())),
+                Some((status, objective)) => assert!(
+                    *status == sol.status && *objective == sol.objective_value,
+                    "pricing {pricing:?} disagrees at n={n} m={m}"
+                ),
+            }
+            if pricing == lp::Pricing::Bland {
+                bland_priced = Some(stats.columns_priced);
+            } else if let Some(bp) = bland_priced {
+                notes.push(format!(
+                    "n={n}: {pricing:?} prices {:.0}× fewer columns than Bland \
+                     ({} vs {bp})",
+                    bp as f64 / stats.columns_priced.max(1) as f64,
+                    stats.columns_priced,
+                ));
+            }
+            t.row(vec![
+                format!("ip3 LP hybrid ({} vars)", vm.len()),
+                n.to_string(),
+                m.to_string(),
+                format!("{pricing:?}"),
+                format!("{d:.1?}"),
+                stats.columns_priced.to_string(),
+                stats.candidate_refills.to_string(),
+                stats.devex_resets.to_string(),
+                if stats.hybrid_certified > 0 { "yes".into() } else { "fallback".into() },
+            ]);
+        }
+    }
+
+    let mut r = Report::new(
+        "e13",
+        "Pricing ablation on the n axis: Bland's full scan vs partial/devex candidate lists",
+        t,
+    )
+    .seeds(format!(
+        "ip3 LPs from e10_instance seed 7 at (n,m) in {E13_SIZES:?}, horizon = \
+         max(volume, bottleneck) lower bound + 2"
+    ))
+    .note(
+        "counters are the float proposer's on certified solves: cols priced = reduced-cost \
+         evaluations for entering-column selection, refills = candidate-list rebuild scans, \
+         resets = devex weight resets at refactorizations; status/objective agreement across \
+         strategies is asserted per size — a disagreement aborts the run",
+    );
+    for note in notes {
+        r = r.note(note);
+    }
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -864,6 +992,29 @@ mod tests {
         // A zero budget truncates immediately (and says so).
         let start = Instant::now();
         let r = e12_with(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// E13 must stay inside the regime that keeps `harness all`
+    /// terminating in about a minute, and its wall-clock budget must
+    /// actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e13_configuration_stays_under_budget() {
+        assert!(E13_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E13_SIZES.iter().all(|&(n, m)| n <= 4096 && m <= 1024));
+        assert!(
+            E13_SIZES.iter().any(|&(n, _)| n >= 1024),
+            "the n-axis operating point is the experiment"
+        );
+        assert!(
+            E13_SIZES.iter().any(|&(n, _)| n < E13_BLAND_CUTOFF),
+            "at least one size must carry the Bland baseline for the reduction factor"
+        );
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e13_with(Duration::ZERO);
         assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
         assert!(r.render_text().contains("truncated"), "truncation must be recorded");
     }

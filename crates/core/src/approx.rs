@@ -19,7 +19,7 @@ use crate::assignment::Assignment;
 use crate::formulations::Ip3Probe;
 use crate::hier::schedule_hierarchical;
 use crate::instance::Instance;
-use crate::lst::{lst_assign, lst_binary_search};
+use crate::lst::{lst_assign, lst_binary_search, lst_binary_search_priced};
 use crate::pushdown::{is_fractionally_feasible, push_down_all, supported_on_singletons};
 use crate::schedule::Schedule;
 
@@ -70,6 +70,20 @@ pub fn two_approx(instance: &Instance) -> TwoApproxResult {
 
 /// [`two_approx`] with an explicit feasibility-oracle choice.
 pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoApproxResult {
+    two_approx_priced(instance, method, lp::Pricing::default())
+}
+
+/// [`two_approx_with`] with an explicit entering-column strategy for
+/// the binary search's LP feasibility probes, end to end (both oracle
+/// choices). `T*`, the rounded assignment, and the schedule are
+/// unchanged: probes run in hybrid mode where one exact certification
+/// validates each basis regardless of the pivot path, and the final
+/// rounding solve is the same cold exact solve for every strategy.
+pub fn two_approx_priced(
+    instance: &Instance,
+    method: TwoApproxMethod,
+    pricing: lp::Pricing,
+) -> TwoApproxResult {
     let completed = instance.with_singletons();
     let m = completed.num_machines();
     let p = singleton_times(&completed);
@@ -90,7 +104,7 @@ pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoAppro
 
     let t_star = match method {
         TwoApproxMethod::DirectSingleton => {
-            let (t, _) = lst_binary_search(&p, m, lo, hi)
+            let (t, _) = lst_binary_search_priced(&p, m, lo, hi, pricing)
                 .expect("completed instances always feasible at the sequential bound");
             t
         }
@@ -101,7 +115,7 @@ pub fn two_approx_with(instance: &Instance, method: TwoApproxMethod) -> TwoAppro
             // solve_warm); the push-down is run at each feasible probe to
             // produce the singleton witness the theorem's proof describes
             // (and tests assert its validity).
-            let mut probe = Ip3Probe::new(&completed);
+            let mut probe = Ip3Probe::with_pricing(&completed, pricing);
             let mut feasible = |t: u64| -> bool {
                 match probe.solve(t) {
                     None => false,

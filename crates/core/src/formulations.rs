@@ -117,6 +117,14 @@ pub struct Ip3Probe<'a> {
 impl<'a> Ip3Probe<'a> {
     /// A probe for `instance` with an empty warm-start state.
     pub fn new(instance: &'a Instance) -> Self {
+        Self::with_pricing(instance, lp::Pricing::default())
+    }
+
+    /// [`Ip3Probe::new`] with an explicit entering-column strategy for
+    /// the LP solves. Any strategy is safe: hybrid certification
+    /// validates each proposed basis exactly regardless of the pivot
+    /// path, so feasibility answers (and hence `T*`) are unchanged.
+    pub fn with_pricing(instance: &'a Instance, pricing: lp::Pricing) -> Self {
         let mut pairs = Vec::new();
         for a in 0..instance.family().len() {
             for j in 0..instance.num_jobs() {
@@ -128,7 +136,7 @@ impl<'a> Ip3Probe<'a> {
         Ip3Probe {
             instance,
             vm: VarMap::new(pairs),
-            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+            cache: lp::WarmCache::with_solver_pricing(lp::Solver::Hybrid, pricing),
         }
     }
 
@@ -180,6 +188,12 @@ impl<'a> Ip3Probe<'a> {
             return None;
         }
         Some(sol.values)
+    }
+
+    /// The warm-start cache (pricing/certification counters for
+    /// diagnostics and the harness ablations).
+    pub fn cache(&self) -> &lp::WarmCache {
+        &self.cache
     }
 }
 

@@ -197,6 +197,15 @@ pub struct LstProbe<'a> {
 impl<'a> LstProbe<'a> {
     /// A probe over `p` (`n × m`, `None` = inadmissible pair).
     pub fn new(p: &'a [Vec<Option<u64>>], m: usize) -> Self {
+        Self::with_pricing(p, m, lp::Pricing::default())
+    }
+
+    /// [`LstProbe::new`] with an explicit entering-column strategy for
+    /// the LP solves. Safe with any strategy: probes run in hybrid mode,
+    /// where one exact certification validates the proposed basis
+    /// regardless of the pivot path, so feasibility answers are
+    /// unchanged — only the scan work per pivot drops.
+    pub fn with_pricing(p: &'a [Vec<Option<u64>>], m: usize, pricing: lp::Pricing) -> Self {
         let mut pairs = Vec::new();
         for (j, row) in p.iter().enumerate() {
             assert_eq!(row.len(), m, "p must be n × m");
@@ -206,7 +215,14 @@ impl<'a> LstProbe<'a> {
                 }
             }
         }
-        LstProbe { p, m, pairs, cache: lp::WarmCache::with_solver(lp::Solver::Hybrid) }
+        let cache = lp::WarmCache::with_solver_pricing(lp::Solver::Hybrid, pricing);
+        LstProbe { p, m, pairs, cache }
+    }
+
+    /// The warm-start cache (pricing/certification counters for
+    /// diagnostics and the harness ablations).
+    pub fn cache(&self) -> &lp::WarmCache {
+        &self.cache
     }
 
     /// Is the pruned LP feasible at horizon `t`? Returns exactly
@@ -253,10 +269,24 @@ impl<'a> LstProbe<'a> {
 pub fn lst_binary_search(
     p: &[Vec<Option<u64>>],
     m: usize,
+    lo: u64,
+    hi: u64,
+) -> Option<(u64, LstAssignment)> {
+    lst_binary_search_priced(p, m, lo, hi, lp::Pricing::default())
+}
+
+/// [`lst_binary_search`] with an explicit entering-column strategy for
+/// the feasibility probes (see [`LstProbe::with_pricing`]); `T*` and the
+/// rounding are unchanged — the final rounding solve is the same cold
+/// exact solve either way.
+pub fn lst_binary_search_priced(
+    p: &[Vec<Option<u64>>],
+    m: usize,
     mut lo: u64,
     mut hi: u64,
+    pricing: lp::Pricing,
 ) -> Option<(u64, LstAssignment)> {
-    let mut probe = LstProbe::new(p, m);
+    let mut probe = LstProbe::with_pricing(p, m, pricing);
     // Ensure hi is feasible; expand geometrically if the caller's bound
     // was too tight.
     let mut guard = 0;

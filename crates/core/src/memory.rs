@@ -531,7 +531,9 @@ struct Model1Probe<'a> {
 }
 
 impl<'a> Model1Probe<'a> {
-    fn new(m1: &'a MemoryModel1) -> Self {
+    /// Build the probe with an explicit entering-column strategy
+    /// (hybrid certification keeps feasibility answers exact either way).
+    fn with_pricing(m1: &'a MemoryModel1, pricing: lp::Pricing) -> Self {
         let inst = &m1.instance;
         let mut pairs = Vec::new();
         for a in 0..inst.family().len() {
@@ -546,7 +548,7 @@ impl<'a> Model1Probe<'a> {
         Model1Probe {
             m1,
             vm: VarMap::new(pairs),
-            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+            cache: lp::WarmCache::with_solver_pricing(lp::Solver::Hybrid, pricing),
         }
     }
 
@@ -603,10 +605,16 @@ impl<'a> Model1Probe<'a> {
 /// the baseline `T` the theorems compare against. Consecutive horizon
 /// probes re-solve from the previous optimal basis ([`Model1Probe`]).
 pub fn model1_lp_t_star(m1: &MemoryModel1) -> Option<u64> {
+    model1_lp_t_star_priced(m1, lp::Pricing::default())
+}
+
+/// [`model1_lp_t_star`] with an explicit entering-column strategy for
+/// the feasibility probes; the returned `T*` is unchanged.
+pub fn model1_lp_t_star_priced(m1: &MemoryModel1, pricing: lp::Pricing) -> Option<u64> {
     let inst = &m1.instance;
     let lo = inst.bottleneck_lower_bound().max(inst.volume_lower_bound()).max(1);
     let hi = inst.sequential_upper_bound().max(lo);
-    let mut probe = Model1Probe::new(m1);
+    let mut probe = Model1Probe::with_pricing(m1, pricing);
     binary_search_min(lo, hi, &mut |t| probe.feasible(t))
 }
 
@@ -678,7 +686,9 @@ struct Model2Probe<'a> {
 }
 
 impl<'a> Model2Probe<'a> {
-    fn new(m2: &'a MemoryModel2) -> Self {
+    /// Build the probe with an explicit entering-column strategy
+    /// (hybrid certification keeps feasibility answers exact either way).
+    fn with_pricing(m2: &'a MemoryModel2, pricing: lp::Pricing) -> Self {
         let inst = &m2.instance;
         let mut pairs = Vec::new();
         for a in 0..inst.family().len() {
@@ -691,7 +701,7 @@ impl<'a> Model2Probe<'a> {
         Model2Probe {
             m2,
             vm: VarMap::new(pairs),
-            cache: lp::WarmCache::with_solver(lp::Solver::Hybrid),
+            cache: lp::WarmCache::with_solver_pricing(lp::Solver::Hybrid, pricing),
         }
     }
 
@@ -749,10 +759,16 @@ impl<'a> Model2Probe<'a> {
 /// Consecutive horizon probes re-solve from the previous optimal basis
 /// ([`Model2Probe`]).
 pub fn model2_lp_t_star(m2: &MemoryModel2) -> Option<u64> {
+    model2_lp_t_star_priced(m2, lp::Pricing::default())
+}
+
+/// [`model2_lp_t_star`] with an explicit entering-column strategy for
+/// the feasibility probes; the returned `T*` is unchanged.
+pub fn model2_lp_t_star_priced(m2: &MemoryModel2, pricing: lp::Pricing) -> Option<u64> {
     let inst = &m2.instance;
     let lo = inst.bottleneck_lower_bound().max(inst.volume_lower_bound()).max(1);
     let hi = inst.sequential_upper_bound().max(lo);
-    let mut probe = Model2Probe::new(m2);
+    let mut probe = Model2Probe::with_pricing(m2, pricing);
     binary_search_min(lo, hi, &mut |t| probe.feasible(t))
 }
 

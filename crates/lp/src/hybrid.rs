@@ -36,7 +36,9 @@ use numeric::Q;
 
 use crate::factor::{Factorization, SVec};
 use crate::problem::{LinearProgram, Relation};
-use crate::revised::{ReuseState, RevisedOptions, RevisedStats, WarmCache, VIRTUAL};
+use crate::revised::{
+    PriceState, Pricing, ReuseState, RevisedOptions, RevisedStats, WarmCache, VIRTUAL,
+};
 use crate::simplex::{LpSolution, LpStatus};
 
 /// Sign / pivot / feasibility tolerance of the float phase. Everything
@@ -287,6 +289,11 @@ struct FloatCore<'a> {
     u: Vec<f64>,
     pivots: usize,
     pivot_cap: usize,
+    /// Entering-column selection state, shared with the exact core (the
+    /// bookkeeping is arithmetic-agnostic).
+    price: PriceState,
+    /// Pricing counters, merged into the solve's [`RevisedStats`].
+    stats: &'a mut RevisedStats,
 }
 
 impl<'a> FloatCore<'a> {
@@ -405,43 +412,227 @@ impl<'a> FloatCore<'a> {
         if !self.factor.refactor(&cols) {
             return false;
         }
+        if !self.price.weights.is_empty() {
+            // Devex reference reset, as in the exact core's refactor.
+            self.price.weights.iter_mut().for_each(|w| *w = 1.0);
+            self.stats.devex_resets += 1;
+        }
         self.xb.clear();
         self.xb.extend_from_slice(self.rhs);
         self.factor.ftran_inplace(&mut self.xb);
         self.xb.iter().all(|v| v.is_finite())
     }
 
-    /// One primal phase, Bland's entering order as in the exact core.
+    /// One primal phase; entering columns selected by the configured
+    /// [`Pricing`] strategy (Bland order mirrors the exact core).
     fn run_phase(&mut self, cost: &[f64], allowed: &dyn Fn(usize) -> bool) -> FPhase {
         loop {
             if self.pivots > self.pivot_cap {
                 return FPhase::GaveUp;
             }
             let y = self.btran_costs(cost);
-            let mut enter = None;
-            for j in 0..self.a_cols.cols() {
-                if !allowed(j) || self.in_basis[j] {
-                    continue;
-                }
-                let rc = self.reduced_cost(cost, &y, j);
-                if !rc.is_finite() {
-                    return FPhase::GaveUp;
-                }
-                if rc < -EPS {
-                    enter = Some(j);
-                    break;
-                }
-            }
-            let Some(enter) = enter else {
-                return FPhase::Optimal;
+            let enter = match self.price_enter(cost, &y, allowed) {
+                Err(()) => return FPhase::GaveUp,
+                Ok(None) => return FPhase::Optimal,
+                Ok(Some(enter)) => enter,
             };
             self.ftran_col(enter);
             let Some(slot) = self.ratio_test() else {
                 return FPhase::Unbounded { enter };
             };
+            if self.price.pricing != Pricing::Bland {
+                self.note_degeneracy(slot);
+                if self.price.pricing == Pricing::Devex && !self.price.bland_mode {
+                    self.devex_update(slot, enter);
+                }
+            }
             if !self.pivot(slot, enter) {
                 return FPhase::GaveUp;
             }
+        }
+    }
+
+    /// Entering column under the configured strategy; `Ok(None)` = phase
+    /// optimal, `Err` = a non-finite reduced cost surfaced (give up and
+    /// let the exact solver take over).
+    fn price_enter(
+        &mut self,
+        cost: &[f64],
+        y: &[f64],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Result<Option<usize>, ()> {
+        if self.price.pricing == Pricing::Bland || self.price.bland_mode {
+            return self.bland_enter(cost, y, allowed);
+        }
+        let mut list = std::mem::take(&mut self.price.candidates);
+        let mut enter = self.select_candidates(&mut list, cost, y, allowed)?;
+        if enter.is_none() {
+            self.stats.candidate_refills += 1;
+            self.refill_candidates(&mut list, cost, y, allowed)?;
+            enter = self.select_candidates(&mut list, cost, y, allowed)?;
+        }
+        self.price.candidates = list;
+        Ok(enter)
+    }
+
+    /// Bland's rule: smallest allowed column with reduced cost below
+    /// `-EPS` — verbatim the historical float scan.
+    fn bland_enter(
+        &mut self,
+        cost: &[f64],
+        y: &[f64],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Result<Option<usize>, ()> {
+        for j in 0..self.a_cols.cols() {
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            let rc = self.reduced_cost(cost, y, j);
+            if !rc.is_finite() {
+                return Err(());
+            }
+            if rc < -EPS {
+                return Ok(Some(j));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Float mirror of the exact core's candidate re-pricing/selection:
+    /// drop entries whose reduced cost rose above `-EPS`, pick the most
+    /// negative (or max `rc²/γ_j` under devex), ties to the smaller
+    /// column.
+    fn select_candidates(
+        &mut self,
+        list: &mut Vec<usize>,
+        cost: &[f64],
+        y: &[f64],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Result<Option<usize>, ()> {
+        let devex = self.price.pricing == Pricing::Devex;
+        let mut best: Option<(usize, f64)> = None;
+        let mut kept = 0;
+        for idx in 0..list.len() {
+            let j = list[idx];
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            let rc = self.reduced_cost(cost, y, j);
+            if !rc.is_finite() {
+                return Err(());
+            }
+            if rc >= -EPS {
+                continue;
+            }
+            // Selection key: larger is better for both rules.
+            let score = if devex {
+                let w = self.price.weights[j].max(f64::MIN_POSITIVE);
+                let s = rc * rc / w;
+                if s.is_finite() {
+                    s
+                } else {
+                    f64::MAX
+                }
+            } else {
+                -rc
+            };
+            let better = match &best {
+                None => true,
+                Some((bj, bscore)) => score > *bscore || (score == *bscore && j < *bj),
+            };
+            if better {
+                best = Some((j, score));
+            }
+            list[kept] = j;
+            kept += 1;
+        }
+        list.truncate(kept);
+        Ok(best.map(|(j, _)| j))
+    }
+
+    /// Rotating refill, mirroring the exact core (a full wrap collecting
+    /// nothing leaves the list empty = phase optimal).
+    fn refill_candidates(
+        &mut self,
+        list: &mut Vec<usize>,
+        cost: &[f64],
+        y: &[f64],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Result<(), ()> {
+        let cols = self.a_cols.cols();
+        if cols == 0 {
+            return Ok(());
+        }
+        let cap = PriceState::list_cap(cols);
+        let start = self.price.cursor % cols;
+        for step in 0..cols {
+            let j = (start + step) % cols;
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            let rc = self.reduced_cost(cost, y, j);
+            if !rc.is_finite() {
+                return Err(());
+            }
+            if rc < -EPS {
+                list.push(j);
+                if list.len() >= cap {
+                    self.price.cursor = (j + 1) % cols;
+                    return Ok(());
+                }
+            }
+        }
+        self.price.cursor = start;
+        Ok(())
+    }
+
+    /// Degenerate-streak Bland escape, as in the exact core. The float
+    /// phase additionally has its global pivot cap, so this guard only
+    /// buys earlier convergence, not termination.
+    fn note_degeneracy(&mut self, slot: usize) {
+        if self.xb[slot].abs() <= EPS {
+            self.price.degen_streak += 1;
+            if self.price.degen_streak > PriceState::degen_threshold(self.m) {
+                self.price.bland_mode = true;
+            }
+        } else {
+            self.price.degen_streak = 0;
+            self.price.bland_mode = false;
+        }
+    }
+
+    /// Forrest–Goldfarb devex update restricted to the candidate list,
+    /// applied before the basis change (`self.u` holds the transformed
+    /// entering column) — the float twin of the exact core's update.
+    fn devex_update(&mut self, slot: usize, enter: usize) {
+        let alpha_r = self.u[slot];
+        if alpha_r == 0.0 || !alpha_r.is_finite() {
+            return;
+        }
+        let g_enter = self.price.weights[enter];
+        let rho = self.btran_unit(slot);
+        for idx in 0..self.price.candidates.len() {
+            let j = self.price.candidates[idx];
+            if j == enter || self.in_basis[j] {
+                continue;
+            }
+            let a_j = self.transformed_entry(&rho, j);
+            if a_j == 0.0 || !a_j.is_finite() {
+                continue;
+            }
+            let r = a_j / alpha_r;
+            let cand = r * r * g_enter;
+            if cand.is_finite() && cand > self.price.weights[j] {
+                self.price.weights[j] = cand;
+            }
+        }
+        let leaving = self.basis[slot];
+        if leaving != VIRTUAL {
+            let w = g_enter / (alpha_r * alpha_r);
+            self.price.weights[leaving] = if w.is_finite() { w.max(1.0) } else { 1.0 };
         }
     }
 
@@ -492,6 +683,8 @@ fn float_cold(
     cost: &[f64],
     basis0: Vec<usize>,
     art_start: usize,
+    pricing: Pricing,
+    stats: &mut RevisedStats,
 ) -> FloatProposal {
     let m = rhs.len();
     let cols = a_cols.cols();
@@ -510,6 +703,8 @@ fn float_cold(
         u: Vec::new(),
         pivots: 0,
         pivot_cap: 64 * (m + cols) + 1024,
+        price: PriceState::new(pricing, cols),
+        stats,
     };
 
     if cols > art_start {
@@ -567,7 +762,14 @@ fn float_cold(
 
 /// Float mirror of `solve_warm_revised`: crash the hinted columns, unit
 /// columns for leftover rows, dual-simplex repair, primal phase.
-fn float_warm(a_cols: &FMat, rhs: &[f64], cost: &[f64], hint: &[usize]) -> FloatProposal {
+fn float_warm(
+    a_cols: &FMat,
+    rhs: &[f64],
+    cost: &[f64],
+    hint: &[usize],
+    pricing: Pricing,
+    stats: &mut RevisedStats,
+) -> FloatProposal {
     let m = rhs.len();
     let cols = a_cols.cols();
     let mut factor = FloatFactor::identity(m);
@@ -633,6 +835,8 @@ fn float_warm(a_cols: &FMat, rhs: &[f64], cost: &[f64], hint: &[usize]) -> Float
         u: Vec::new(),
         pivots: 0,
         pivot_cap: 64 * (m + cols) + 1024,
+        price: PriceState::new(pricing, cols),
+        stats,
     };
 
     // Dual-simplex repair of b ≥ 0, Bland row choice as in the exact
@@ -1203,13 +1407,27 @@ impl LinearProgram {
     /// was certified or fell back (plus the exact solver's counters when
     /// it ran).
     pub fn solve_hybrid(&self) -> (LpSolution, RevisedStats) {
-        self.solve_hybrid_cold(None)
+        self.solve_hybrid_cold(None, Pricing::default())
+    }
+
+    /// [`Self::solve_hybrid`] with an explicit entering-column strategy
+    /// for the float proposer (and for the exact fallback, should
+    /// certification fail). Any strategy is safe here: one exact
+    /// certification validates the proposed basis regardless of the
+    /// pivot path that found it — which is exactly why non-Bland pricing
+    /// ships through the hybrid first.
+    pub fn solve_hybrid_priced(&self, pricing: Pricing) -> (LpSolution, RevisedStats) {
+        self.solve_hybrid_cold(None, pricing)
     }
 
     /// Cold hybrid core. With a cache, a certified solve seeds the
     /// reusable factorization so the *next* (warm) probe can try
     /// hint-first certification.
-    fn solve_hybrid_cold(&self, cache: Option<&mut WarmCache>) -> (LpSolution, RevisedStats) {
+    fn solve_hybrid_cold(
+        &self,
+        cache: Option<&mut WarmCache>,
+        pricing: Pricing,
+    ) -> (LpSolution, RevisedStats) {
         let mut asm = assemble_hybrid(self);
 
         // Cold float layout appends artificial columns, mirroring the
@@ -1241,10 +1459,18 @@ impl LinearProgram {
         }
         asm.f_cost.resize(next_art, 0.0);
 
-        let proposal = float_cold(&asm.f_cols, &asm.f_rhs, &asm.f_cost, basis0, art_start);
+        let mut stats = RevisedStats::default();
+        let proposal = float_cold(
+            &asm.f_cols,
+            &asm.f_rhs,
+            &asm.f_cost,
+            basis0,
+            art_start,
+            pricing,
+            &mut stats,
+        );
         asm.f_cols.truncate_cols(art_start);
         asm.f_cost.truncate(art_start);
-        let mut stats = RevisedStats::default();
         match certify(self, &asm, &proposal, None) {
             Some((sol, reuse_out, _)) => {
                 if let Some(c) = cache {
@@ -1254,9 +1480,11 @@ impl LinearProgram {
                 (sol, stats)
             }
             None => {
-                let (sol, mut s) = self.solve_revised_with(&RevisedOptions::default());
-                s.hybrid_fallbacks = 1;
-                (sol, s)
+                let (sol, s) = self
+                    .solve_revised_with(&RevisedOptions { pricing, ..RevisedOptions::default() });
+                stats.absorb(&s);
+                stats.hybrid_fallbacks = 1;
+                (sol, stats)
             }
         }
     }
@@ -1277,6 +1505,7 @@ impl LinearProgram {
     ) -> (LpSolution, RevisedStats) {
         let asm = assemble_hybrid(self);
         let mut stats = RevisedStats::default();
+        let pricing = cache.as_deref().map(|c| c.pricing()).unwrap_or_default();
 
         // Hint-first certification: no pivots of any kind when the
         // previously certified basis is still optimal here.
@@ -1302,10 +1531,28 @@ impl LinearProgram {
         // basis (mirrors `solve_warm_cached`, which cold-solves when the
         // cache is cold).
         if hint.is_empty() {
-            return self.solve_hybrid_cold(cache);
+            return self.solve_hybrid_cold(cache, pricing);
         }
 
-        let proposal = float_warm(&asm.f_cols, &asm.f_rhs, &asm.f_cost, hint);
+        // A stale hint (out-of-range columns or duplicate slots — a
+        // basis from a differently-shaped program) would crash into a
+        // half-garbage float basis whose repair almost always gives up.
+        // Route straight to the cold path and count the fallback, the
+        // same policy as the exact warm solver.
+        {
+            let mut sanitized: Vec<usize> =
+                hint.iter().copied().filter(|&c| c < asm.cols).collect();
+            sanitized.sort_unstable();
+            sanitized.dedup();
+            if sanitized.len() != hint.len() {
+                if let Some(c) = cache.as_deref_mut() {
+                    c.warm_fallbacks += 1;
+                }
+                return self.solve_hybrid_cold(cache, pricing);
+            }
+        }
+
+        let proposal = float_warm(&asm.f_cols, &asm.f_rhs, &asm.f_cost, hint, pricing, &mut stats);
 
         let reuse = match (&proposal, cache.as_deref_mut()) {
             // Only lift the cached state out for a clean full-rank
@@ -1340,6 +1587,10 @@ impl LinearProgram {
         let (sol, stats) = self.solve_hybrid_warm(&hint, Some(cache));
         cache.hybrid_certified += stats.hybrid_certified;
         cache.hybrid_fallbacks += stats.hybrid_fallbacks;
+        // The exact warm fallback feeds its own pricing counters into
+        // the cache directly; `stats` carries only the float phase's, so
+        // this absorb never double-counts.
+        cache.absorb_pricing(&stats);
         if sol.status == LpStatus::Optimal && !sol.basis.is_empty() {
             cache.hint = sol.basis.clone();
         } else {
@@ -1445,6 +1696,38 @@ mod tests {
         // And the exact reference agrees bit for bit.
         let exact = lp.solve_with(Solver::Revised);
         assert_eq!(sol.values, exact.values);
+        assert_eq!(sol.objective_value, exact.objective_value);
+    }
+
+    /// Regression for the `Q::to_f64` big-path fix: coefficients whose
+    /// numerator and denominator each overflow f64 on their own but
+    /// whose *ratio* is tame used to collapse to NaN (or 0), poisoning
+    /// the float phase and forcing the exact fallback on every solve.
+    /// With the pre-scaled conversion the float proposal stays finite
+    /// and the basis certifies — no fallback.
+    #[test]
+    fn huge_rational_coefficients_certify_without_fallback() {
+        // H ≈ 10^576: squaring 10^9 six times. Both H and H+1 are far
+        // beyond f64::MAX, but (H+1)/H ≈ 1 is perfectly representable.
+        let mut huge = Q::from_int(1_000_000_000);
+        for _ in 0..6 {
+            huge = huge.clone() * huge.clone();
+        }
+        let c = (huge.clone() + Q::one()) / huge.clone();
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(1));
+        lp.set_objective(1, q(1));
+        lp.add_constraint(vec![(0, c.clone()), (1, c.clone())], R::Ge, c.clone() + c.clone());
+        lp.add_constraint(vec![(0, c.clone())], R::Le, c.clone() * q(3));
+        let (sol, stats) = lp.solve_hybrid();
+        assert_eq!(
+            stats.hybrid_fallbacks, 0,
+            "huge-but-tame coefficients must not force the exact fallback"
+        );
+        assert_eq!(stats.hybrid_certified, 1);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.is_feasible_point(&sol.values));
+        let exact = lp.solve_with(Solver::Revised);
         assert_eq!(sol.objective_value, exact.objective_value);
     }
 

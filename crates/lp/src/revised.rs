@@ -46,6 +46,34 @@ use crate::sparse::assemble;
 /// tableau solvers delete such rows instead).
 pub(crate) const VIRTUAL: usize = usize::MAX;
 
+/// Entering-column selection strategy for the primal simplex phases.
+///
+/// [`Pricing::Bland`] is the default and keeps the historical pivot path
+/// bit-identical — the fixed-seed goldens, the differential suites, and
+/// the B&B node paths all depend on that. The other strategies trade the
+/// full in-order scan for far fewer reduced-cost evaluations per pivot;
+/// any optimum they reach is exact (status and objective always agree
+/// with Bland), but the returned vertex may be a *different* optimal
+/// basic solution. A degenerate-pivot-streak guard falls back to Bland's
+/// rule within the phase until the objective strictly improves, so
+/// termination stays guaranteed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Pricing {
+    /// Full scan in column order, entering at the first negative reduced
+    /// cost (Bland's anti-cycling rule; the historical behavior).
+    #[default]
+    Bland,
+    /// Rotating section scan that fills a bounded candidate list; the
+    /// list is re-priced lazily (entering at the most negative reduced
+    /// cost) and refilled only when exhausted — an empty refill over the
+    /// whole ring proves optimality.
+    PartialCandidate,
+    /// [`Pricing::PartialCandidate`] with devex reference weights
+    /// driving the selection (`rc²/γ_j`), updated every pivot by the
+    /// Forrest–Goldfarb recurrence and reset on refactorization.
+    Devex,
+}
+
 /// Tuning knobs for the refactorization trigger.
 #[derive(Clone, Debug)]
 pub struct RevisedOptions {
@@ -55,11 +83,17 @@ pub struct RevisedOptions {
     /// `refactor_fill_factor · (m + factorization nonzeros)` (fill
     /// trigger).
     pub refactor_fill_factor: usize,
+    /// Entering-column selection strategy (default: [`Pricing::Bland`]).
+    pub pricing: Pricing,
 }
 
 impl Default for RevisedOptions {
     fn default() -> Self {
-        RevisedOptions { refactor_interval: 64, refactor_fill_factor: 4 }
+        RevisedOptions {
+            refactor_interval: 64,
+            refactor_fill_factor: 4,
+            pricing: Pricing::default(),
+        }
     }
 }
 
@@ -79,6 +113,29 @@ pub struct RevisedStats {
     /// Hybrid solves that failed certification and fell back to the
     /// exact revised solver.
     pub hybrid_fallbacks: usize,
+    /// Reduced costs evaluated while selecting entering columns (both
+    /// the exact phases and the hybrid float proposer) — the scan work
+    /// the non-Bland pricing strategies exist to reduce.
+    pub columns_priced: usize,
+    /// Candidate-list refill scans (non-Bland pricing only).
+    pub candidate_refills: usize,
+    /// Devex reference-weight resets on refactorization.
+    pub devex_resets: usize,
+}
+
+impl RevisedStats {
+    /// Fold `other`'s counters into `self` (used when one logical solve
+    /// runs several internal phases/solvers, e.g. hybrid float + exact).
+    pub(crate) fn absorb(&mut self, other: &RevisedStats) {
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.warm_fallbacks += other.warm_fallbacks;
+        self.hybrid_certified += other.hybrid_certified;
+        self.hybrid_fallbacks += other.hybrid_fallbacks;
+        self.columns_priced += other.columns_priced;
+        self.candidate_refills += other.candidate_refills;
+        self.devex_resets += other.devex_resets;
+    }
 }
 
 /// Persistent warm-start state for a sequence of *related* solves (same
@@ -100,6 +157,13 @@ pub struct WarmCache {
     /// Hybrid solves certified exactly / fallen back (hybrid caches only).
     pub(crate) hybrid_certified: usize,
     pub(crate) hybrid_fallbacks: usize,
+    /// Entering-column strategy threaded into every solve driven through
+    /// this cache (both the hybrid float proposer and the exact phases).
+    pub(crate) pricing: Pricing,
+    /// Pricing work accumulated across all solves through this cache.
+    pub(crate) columns_priced: usize,
+    pub(crate) candidate_refills: usize,
+    pub(crate) devex_resets: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -126,6 +190,43 @@ impl WarmCache {
     /// tableau solvers map to the default exact warm path.
     pub fn with_solver(solver: crate::Solver) -> Self {
         WarmCache { solver, ..WarmCache::default() }
+    }
+
+    /// [`WarmCache::with_solver`] with an explicit entering-column
+    /// strategy for every solve driven through this cache. Non-Bland
+    /// pricing changes the pivot *path* (and possibly which optimal
+    /// vertex is returned) but never the status or objective; under
+    /// [`crate::Solver::Hybrid`] the exact certification holds
+    /// regardless of the path the float proposer took.
+    pub fn with_solver_pricing(solver: crate::Solver, pricing: Pricing) -> Self {
+        WarmCache { solver, pricing, ..WarmCache::default() }
+    }
+
+    /// The entering-column strategy threaded into this cache's solves.
+    pub fn pricing(&self) -> Pricing {
+        self.pricing
+    }
+
+    /// Reduced costs evaluated across all solves through this cache.
+    pub fn columns_priced(&self) -> usize {
+        self.columns_priced
+    }
+
+    /// Candidate-list refill scans across all solves through this cache.
+    pub fn candidate_refills(&self) -> usize {
+        self.candidate_refills
+    }
+
+    /// Devex weight resets (on refactorization) across all solves.
+    pub fn devex_resets(&self) -> usize {
+        self.devex_resets
+    }
+
+    /// Fold one solve's pricing counters into the cache totals.
+    pub(crate) fn absorb_pricing(&mut self, stats: &RevisedStats) {
+        self.columns_priced += stats.columns_priced;
+        self.candidate_refills += stats.candidate_refills;
+        self.devex_resets += stats.devex_resets;
     }
 
     /// Whether a hint is available (i.e. at least one solve happened).
@@ -164,6 +265,56 @@ enum PhaseOutcome {
     Unbounded,
 }
 
+/// Mutable pricing state carried across the pivots of one solve.
+/// Shared with the hybrid float proposer — selection state (cursor,
+/// candidate list, devex weights) is plain bookkeeping either way; only
+/// the reduced-cost arithmetic differs between the two cores.
+pub(crate) struct PriceState {
+    pub(crate) pricing: Pricing,
+    /// Where the next rotating refill scan starts.
+    pub(crate) cursor: usize,
+    /// Nonbasic columns last seen with negative reduced cost, re-priced
+    /// lazily under each new set of multipliers.
+    pub(crate) candidates: Vec<usize>,
+    /// Devex reference weights, one per column (empty unless
+    /// [`Pricing::Devex`]).
+    pub(crate) weights: Vec<f64>,
+    /// Consecutive degenerate pivots under non-Bland selection.
+    pub(crate) degen_streak: usize,
+    /// Degenerate-streak escape: price with Bland's rule until the
+    /// objective strictly improves. Partial/devex selection alone can
+    /// cycle on degenerate vertices; Bland's rule cannot, so a phase
+    /// that latches here still terminates.
+    pub(crate) bland_mode: bool,
+}
+
+impl PriceState {
+    pub(crate) fn new(pricing: Pricing, cols: usize) -> Self {
+        let weights = if pricing == Pricing::Devex { vec![1.0; cols] } else { Vec::new() };
+        PriceState {
+            pricing,
+            cursor: 0,
+            candidates: Vec::new(),
+            weights,
+            degen_streak: 0,
+            bland_mode: false,
+        }
+    }
+
+    /// Candidate-list capacity: ~√cols keeps both the refill scans and
+    /// the per-pivot re-pricing sublinear in the column count.
+    pub(crate) fn list_cap(cols: usize) -> usize {
+        ((cols as f64).sqrt() as usize).clamp(16, 512)
+    }
+
+    /// Degenerate pivots tolerated before latching Bland mode — roomy
+    /// enough that real instances never trip it, small enough that a
+    /// cycling vertex escapes quickly.
+    pub(crate) fn degen_threshold(m: usize) -> usize {
+        8 * (m + 16)
+    }
+}
+
 /// The revised-simplex working state: original columns + factorized
 /// basis + incrementally maintained basic values.
 struct Core<'a> {
@@ -181,6 +332,7 @@ struct Core<'a> {
     stats: RevisedStats,
     /// Scratch for FTRAN results.
     u: Vec<Q>,
+    price: PriceState,
 }
 
 impl<'a> Core<'a> {
@@ -305,33 +457,223 @@ impl<'a> Core<'a> {
             .collect();
         self.factor.refactor(&cols);
         self.stats.refactorizations += 1;
+        if !self.price.weights.is_empty() {
+            // Devex weights are referenced to the basis at the last
+            // reset; a refactorization is the natural reference point.
+            self.price.weights.iter_mut().for_each(|w| *w = 1.0);
+            self.stats.devex_resets += 1;
+        }
     }
 
     /// One primal simplex phase minimizing `cost` over `allowed`
-    /// columns; Bland's rule throughout, exactly as the tableau solvers.
+    /// columns, selecting entering columns by the configured
+    /// [`Pricing`] strategy; the ratio test (and hence the anti-cycling
+    /// leave tie-break) is shared by all strategies.
     fn run_phase(&mut self, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> PhaseOutcome {
         loop {
             let y = self.btran_costs(cost);
-            // Bland: entering = smallest allowed column with negative
-            // reduced cost (basic columns price to exactly zero — skip).
-            let mut enter = None;
-            for j in 0..self.a_cols.len() {
-                if !allowed(j) || self.in_basis[j] {
-                    continue;
-                }
-                if self.reduced_cost(cost, &y, j).is_negative() {
-                    enter = Some(j);
-                    break;
-                }
-            }
-            let Some(enter) = enter else {
+            let Some(enter) = self.price_enter(cost, &y, allowed) else {
                 return PhaseOutcome::Optimal;
             };
             self.ftran_col(enter);
             let Some(slot) = self.ratio_test() else {
                 return PhaseOutcome::Unbounded;
             };
+            if self.price.pricing != Pricing::Bland {
+                self.note_degeneracy(slot);
+                if self.price.pricing == Pricing::Devex && !self.price.bland_mode {
+                    self.devex_update(slot, enter);
+                }
+            }
             self.pivot(slot, enter);
+        }
+    }
+
+    /// Entering column under the configured strategy; `None` = no
+    /// allowed nonbasic column has negative reduced cost (the phase is
+    /// optimal).
+    fn price_enter(
+        &mut self,
+        cost: &[Q],
+        y: &[Q],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        if self.price.pricing == Pricing::Bland || self.price.bland_mode {
+            return self.bland_enter(cost, y, allowed);
+        }
+        let mut list = std::mem::take(&mut self.price.candidates);
+        let mut enter = self.select_candidates(&mut list, cost, y, allowed);
+        if enter.is_none() {
+            // List exhausted: refill by a rotating scan. The refill
+            // prices every column when nothing is negative, so an empty
+            // refill proves optimality under the current multipliers.
+            self.stats.candidate_refills += 1;
+            self.refill_candidates(&mut list, cost, y, allowed);
+            enter = self.select_candidates(&mut list, cost, y, allowed);
+        }
+        self.price.candidates = list;
+        enter
+    }
+
+    /// Bland's rule: the smallest allowed nonbasic column with negative
+    /// reduced cost — scan order and early exit verbatim the historical
+    /// loop, so the default pivot path is bit-identical.
+    fn bland_enter(
+        &mut self,
+        cost: &[Q],
+        y: &[Q],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        for j in 0..self.a_cols.len() {
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            if self.reduced_cost(cost, y, j).is_negative() {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Re-price `list` under the current multipliers, dropping entries
+    /// whose reduced cost went nonnegative, and return the best survivor
+    /// by the strategy's selection rule (most negative reduced cost for
+    /// [`Pricing::PartialCandidate`]; max `rc²/γ_j` for
+    /// [`Pricing::Devex`]; ties to the smaller column).
+    fn select_candidates(
+        &mut self,
+        list: &mut Vec<usize>,
+        cost: &[Q],
+        y: &[Q],
+        allowed: &dyn Fn(usize) -> bool,
+    ) -> Option<usize> {
+        let devex = self.price.pricing == Pricing::Devex;
+        let mut best: Option<(usize, Q, f64)> = None;
+        let mut kept = 0;
+        for idx in 0..list.len() {
+            let j = list[idx];
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            let rc = self.reduced_cost(cost, y, j);
+            if !rc.is_negative() {
+                continue;
+            }
+            let score = if devex {
+                let rcf = rc.to_f64();
+                let w = self.price.weights[j].max(f64::MIN_POSITIVE);
+                let s = rcf * rcf / w;
+                if s.is_finite() {
+                    s
+                } else {
+                    f64::MAX
+                }
+            } else {
+                0.0
+            };
+            let better = match &best {
+                None => true,
+                Some((bj, brc, bscore)) => {
+                    if devex {
+                        score > *bscore || (score == *bscore && j < *bj)
+                    } else {
+                        rc < *brc || (rc == *brc && j < *bj)
+                    }
+                }
+            };
+            if better {
+                best = Some((j, rc, score));
+            }
+            list[kept] = j;
+            kept += 1;
+        }
+        list.truncate(kept);
+        best.map(|(j, _, _)| j)
+    }
+
+    /// Rotating refill: price columns from the cursor, wrapping once
+    /// around the ring, collecting up to the list cap of
+    /// negative-reduced-cost columns. A full wrap collecting nothing
+    /// leaves the list empty, which the caller reads as phase-optimal.
+    fn refill_candidates(
+        &mut self,
+        list: &mut Vec<usize>,
+        cost: &[Q],
+        y: &[Q],
+        allowed: &dyn Fn(usize) -> bool,
+    ) {
+        let cols = self.a_cols.len();
+        if cols == 0 {
+            return;
+        }
+        let cap = PriceState::list_cap(cols);
+        let start = self.price.cursor % cols;
+        for step in 0..cols {
+            let j = (start + step) % cols;
+            if !allowed(j) || self.in_basis[j] {
+                continue;
+            }
+            self.stats.columns_priced += 1;
+            if self.reduced_cost(cost, y, j).is_negative() {
+                list.push(j);
+                if list.len() >= cap {
+                    self.price.cursor = (j + 1) % cols;
+                    return;
+                }
+            }
+        }
+        self.price.cursor = start;
+    }
+
+    /// Track degenerate-pivot streaks for the non-Bland strategies: a
+    /// long streak latches Bland mode (guaranteed termination), a
+    /// nondegenerate pivot (strict objective improvement) unlatches it.
+    fn note_degeneracy(&mut self, slot: usize) {
+        if self.xb[slot].is_zero() {
+            self.price.degen_streak += 1;
+            if self.price.degen_streak > PriceState::degen_threshold(self.m) {
+                self.price.bland_mode = true;
+            }
+        } else {
+            self.price.degen_streak = 0;
+            self.price.bland_mode = false;
+        }
+    }
+
+    /// Forrest–Goldfarb devex update for the pivot `enter` → slot
+    /// `slot`, applied before the basis change (`self.u` still holds the
+    /// transformed entering column). Weights are a selection heuristic
+    /// only — plain f64, guarded against non-finite values — so they
+    /// never affect exactness, and the update is restricted to the
+    /// candidate list (the only columns whose weights can drive a
+    /// selection before the next refill or reset).
+    fn devex_update(&mut self, slot: usize, enter: usize) {
+        let alpha_r = self.u[slot].to_f64();
+        if alpha_r == 0.0 || !alpha_r.is_finite() {
+            return;
+        }
+        let g_enter = self.price.weights[enter];
+        let rho = self.btran_unit(slot);
+        for idx in 0..self.price.candidates.len() {
+            let j = self.price.candidates[idx];
+            if j == enter || self.in_basis[j] {
+                continue;
+            }
+            let a_j = self.transformed_entry(&rho, j).to_f64();
+            if a_j == 0.0 || !a_j.is_finite() {
+                continue;
+            }
+            let cand = (a_j / alpha_r) * (a_j / alpha_r) * g_enter;
+            if cand.is_finite() && cand > self.price.weights[j] {
+                self.price.weights[j] = cand;
+            }
+        }
+        let leaving = self.basis[slot];
+        if leaving != VIRTUAL {
+            let w = g_enter / (alpha_r * alpha_r);
+            self.price.weights[leaving] = if w.is_finite() { w.max(1.0) } else { 1.0 };
         }
     }
 }
@@ -403,6 +745,7 @@ impl LinearProgram {
             opts: opts.clone(),
             stats: RevisedStats::default(),
             u: Vec::new(),
+            price: PriceState::new(opts.pricing, cols),
         };
         let mut dead = vec![false; m];
 
@@ -578,6 +921,23 @@ impl LinearProgram {
                 let mut wanted: Vec<usize> = hint.iter().copied().filter(|&c| c < cols).collect();
                 wanted.sort_unstable();
                 wanted.dedup();
+                if wanted.len() != hint.len() {
+                    // Stale hint from a differently-shaped program
+                    // (out-of-range columns or duplicate slots): crashing
+                    // what's left would start from a half-garbage basis.
+                    // Route to the cold path instead, counted like the
+                    // anti-cycling fallback so callers see it.
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.warm_fallbacks += 1;
+                        return self
+                            .solve_revised_with(&RevisedOptions {
+                                pricing: c.pricing,
+                                ..RevisedOptions::default()
+                            })
+                            .0;
+                    }
+                    return self.solve();
+                }
                 for c in wanted.into_iter().chain(0..cols) {
                     if left == 0 {
                         break;
@@ -624,6 +984,7 @@ impl LinearProgram {
             }
         }
 
+        let pricing = cache.as_deref().map(|c| c.pricing).unwrap_or_default();
         let mut core = Core {
             m,
             a_cols: &a_cols,
@@ -631,9 +992,10 @@ impl LinearProgram {
             in_basis,
             xb,
             factor,
-            opts: RevisedOptions::default(),
+            opts: RevisedOptions { pricing, ..RevisedOptions::default() },
             stats: RevisedStats::default(),
             u: Vec::new(),
+            price: PriceState::new(pricing, cols),
         };
 
         // --- Dual-simplex repair of b ≥ 0 (zero objective: any basis is
@@ -663,8 +1025,14 @@ impl LinearProgram {
                 // the fallback being swallowed silently.
                 if let Some(c) = cache.as_deref_mut() {
                     c.warm_fallbacks += 1;
+                    c.absorb_pricing(&core.stats);
                 }
-                return self.solve();
+                let (sol, cold_stats) = self
+                    .solve_revised_with(&RevisedOptions { pricing, ..RevisedOptions::default() });
+                if let Some(c) = cache.as_deref_mut() {
+                    c.absorb_pricing(&cold_stats);
+                }
+                return sol;
             }
         }
 
@@ -677,6 +1045,7 @@ impl LinearProgram {
 
         let sol = self.extract_revised(&core, &dead);
         if let Some(c) = cache {
+            c.absorb_pricing(&core.stats);
             c.hint = sol.basis.clone();
             c.reuse = if dead.iter().any(|&d| d) {
                 // A basis with virtual columns is only valid against
@@ -864,7 +1233,11 @@ mod tests {
             let (default, _) = lp.solve_revised_with(&RevisedOptions::default());
             // Refactor after every pivot (fill factor 0 makes any update
             // nonzero exceed the cap).
-            let tight = RevisedOptions { refactor_interval: 1, refactor_fill_factor: 0 };
+            let tight = RevisedOptions {
+                refactor_interval: 1,
+                refactor_fill_factor: 0,
+                ..RevisedOptions::default()
+            };
             let (forced, stats) = lp.solve_revised_with(&tight);
             assert!(
                 stats.refactorizations >= 2,
@@ -917,6 +1290,80 @@ mod tests {
         let again = build(4).solve_warm_cached(&mut cache);
         assert_eq!(again.status, LpStatus::Optimal);
         assert_eq!(again.objective_value, q(0));
+    }
+
+    /// A hint assembled for a differently-shaped program — columns out
+    /// of range for this one, or duplicated — must route to the cold
+    /// path, count a warm fallback in the cache, and still return the
+    /// exact cold answer (never panic or mis-solve).
+    #[test]
+    fn stale_hint_from_other_program_falls_back_cold() {
+        // Hint donor: a 6-variable program whose optimal basis uses
+        // column indices far beyond the 1-variable target's layout.
+        let mut donor = LinearProgram::new(6);
+        for v in 0..6 {
+            donor.set_objective(v, q(1));
+            donor.add_constraint(vec![(v, q(1))], R::Ge, q(1));
+        }
+        let donor_sol = donor.solve();
+        assert_eq!(donor_sol.status, LpStatus::Optimal);
+
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        let cold = lp.solve();
+        let mut cache = WarmCache::new();
+        let warm = lp.solve_warm_revised_capped(&donor_sol.basis, Some(&mut cache), None);
+        assert_eq!(cache.warm_fallbacks(), 1, "out-of-range hint must be counted stale");
+        assert_eq!(warm.status, cold.status);
+        assert_eq!(warm.objective_value, cold.objective_value);
+        assert_eq!(warm.values, cold.values);
+        // Duplicate columns in a hint are equally stale.
+        let warm = lp.solve_warm_revised_capped(&[0, 0], Some(&mut cache), None);
+        assert_eq!(cache.warm_fallbacks(), 2, "duplicated hint must be counted stale");
+        assert_eq!(warm.objective_value, cold.objective_value);
+        // A genuine self-hint afterwards is not a fallback.
+        let warm = lp.solve_warm_revised_capped(&cold.basis, Some(&mut cache), None);
+        assert_eq!(cache.warm_fallbacks(), 2);
+        assert_eq!(warm.objective_value, cold.objective_value);
+    }
+
+    /// On a program whose attractive columns sit behind a long dead
+    /// prefix, Bland's in-order scan re-prices the prefix every pivot
+    /// while the candidate strategies pay for it once per refill — the
+    /// counters must show strictly less pricing work, at the same
+    /// optimal objective (the vertex may legitimately differ).
+    #[test]
+    fn partial_and_devex_price_fewer_columns() {
+        let nv = 200;
+        let dead = nv - 10;
+        let mut lp = LinearProgram::new(nv);
+        for v in 0..dead {
+            lp.set_objective(v, q(1));
+        }
+        for v in dead..nv {
+            lp.set_objective(v, q(-((v - dead + 1) as i64)));
+            lp.add_constraint(vec![(v, q(1))], R::Le, q(1));
+        }
+        lp.add_constraint((dead..nv).map(|v| (v, q(1))).collect(), R::Le, q(5));
+        let (bland, bland_stats) = lp.solve_revised_with(&RevisedOptions::default());
+        assert_eq!(bland.status, LpStatus::Optimal);
+        assert!(bland_stats.columns_priced > 0);
+        assert_eq!(bland_stats.candidate_refills, 0, "Bland never touches the candidate list");
+        for pricing in [Pricing::PartialCandidate, Pricing::Devex] {
+            let opts = RevisedOptions { pricing, ..RevisedOptions::default() };
+            let (sol, stats) = lp.solve_revised_with(&opts);
+            assert_eq!(sol.status, bland.status, "{pricing:?}");
+            assert_eq!(sol.objective_value, bland.objective_value, "{pricing:?}");
+            assert!(lp.is_feasible_point(&sol.values), "{pricing:?}");
+            assert!(stats.candidate_refills >= 1, "{pricing:?} must refill at least once");
+            assert!(
+                stats.columns_priced < bland_stats.columns_priced,
+                "{pricing:?}: {} pricings vs Bland's {}",
+                stats.columns_priced,
+                bland_stats.columns_priced
+            );
+        }
     }
 
     /// Tripping the warm anti-cycling cap must fall back to the cold

@@ -11,7 +11,7 @@
 //! agreement: same status, same optimal objective, feasible vertex,
 //! vertex support bound.
 
-use lp::{LinearProgram, LpStatus, Relation, Solver, WarmCache};
+use lp::{LinearProgram, LpStatus, Pricing, Relation, RevisedOptions, Solver, WarmCache};
 use numeric::Q;
 use proptest::prelude::*;
 
@@ -188,6 +188,134 @@ proptest! {
             prop_assert_eq!(&exact.objective_value, &hybrid.objective_value);
             prop_assert_eq!(&exact.values, &hybrid.values, "vertices must be identical");
             prop_assert!(lp.is_feasible_point(&hybrid.values));
+        }
+    }
+
+    /// The candidate pricing strategies (partial + devex) take different
+    /// pivot paths than Bland by design, but every optimum they reach is
+    /// exact: same status and optimal objective on random mixed-relation
+    /// LPs, for both the exact revised solver and the certified hybrid.
+    #[test]
+    fn pricing_strategies_match_bland(
+        nv in 1usize..5,
+        n_cons in 0usize..6,
+        objs in proptest::collection::vec(-4i64..5, 5),
+        coefs in proptest::collection::vec(-3i64..4, 30),
+        rels in proptest::collection::vec(0u8..3, 6),
+        rhss in proptest::collection::vec(-6i64..12, 6),
+    ) {
+        let lp = random_lp(nv, &objs, &coefs, &rels, &rhss, n_cons);
+        let (bland, _) = lp.solve_revised_with(&RevisedOptions::default());
+        for pricing in [Pricing::PartialCandidate, Pricing::Devex] {
+            let opts = RevisedOptions { pricing, ..RevisedOptions::default() };
+            let (sol, _) = lp.solve_revised_with(&opts);
+            prop_assert_eq!(bland.status, sol.status, "{:?}", pricing);
+            if bland.status == LpStatus::Optimal {
+                prop_assert_eq!(&bland.objective_value, &sol.objective_value, "{:?}", pricing);
+                prop_assert!(lp.is_feasible_point(&sol.values));
+            }
+            // The hybrid under the same strategy must stay certified-or-
+            // fallback exact as well.
+            let (hyb, stats) = lp.solve_hybrid_priced(pricing);
+            prop_assert_eq!(bland.status, hyb.status, "hybrid {:?}", pricing);
+            prop_assert_eq!(stats.hybrid_certified + stats.hybrid_fallbacks, 1);
+            if bland.status == LpStatus::Optimal {
+                prop_assert_eq!(&bland.objective_value, &hyb.objective_value, "hybrid {:?}", pricing);
+                prop_assert!(lp.is_feasible_point(&hyb.values));
+            }
+        }
+    }
+
+    /// Warm-started re-solves through a pricing-configured cache track
+    /// right-hand-side perturbations exactly for every strategy and both
+    /// warm backends (exact revised + certified hybrid).
+    #[test]
+    fn pricing_warm_resolves_match(
+        nv in 2usize..5,
+        caps in proptest::collection::vec(1i64..20, 4),
+        delta in -3i64..8,
+    ) {
+        let build = |shift: i64| {
+            let mut lp = LinearProgram::new(nv);
+            lp.add_constraint(
+                (0..nv).map(|v| (v, Q::one())).collect(),
+                Relation::Eq,
+                q(nv as i64 - 1),
+            );
+            for v in 0..nv {
+                lp.add_constraint(vec![(v, q(1))], Relation::Le, q((caps[v % caps.len()] + shift).max(0)));
+            }
+            lp
+        };
+        for solver in [Solver::Revised, Solver::Hybrid] {
+            for pricing in [Pricing::PartialCandidate, Pricing::Devex] {
+                let mut cache = WarmCache::with_solver_pricing(solver, pricing);
+                for shift in [0i64, delta, delta.saturating_sub(1)] {
+                    let lp = build(shift);
+                    let cached = lp.solve_warm_cached(&mut cache);
+                    let reference = lp.solve_with(Solver::Dense);
+                    prop_assert_eq!(
+                        reference.status, cached.status,
+                        "{:?}/{:?} shift {}", solver, pricing, shift
+                    );
+                    if reference.status == LpStatus::Optimal {
+                        prop_assert_eq!(&reference.objective_value, &cached.objective_value);
+                        prop_assert!(lp.is_feasible_point(&cached.values));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The near-degenerate Beale family under the candidate pricing
+    /// strategies: cycling-prone ties are where a pricing bug would
+    /// surface as non-termination or a wrong optimum. The
+    /// degenerate-streak guard must keep both strategies terminating at
+    /// the exact optimum, cold and hybrid alike.
+    #[test]
+    fn pricing_survives_near_degenerate_perturbations(
+        k in 5u32..50,
+        signs in proptest::collection::vec(proptest::bool::ANY, 8),
+        perturb_rhs in proptest::bool::ANY,
+    ) {
+        let eps = Q::ratio(1, 1i64 << k.min(62));
+        let tweak = |idx: usize, base: Q| -> Q {
+            if signs[idx % signs.len()] { base + eps.clone() } else { base - eps.clone() }
+        };
+        let mut lp = LinearProgram::new(4);
+        lp.set_objective(0, tweak(0, Q::ratio(-3, 4)));
+        lp.set_objective(1, q(150));
+        lp.set_objective(2, tweak(1, Q::ratio(-1, 50)));
+        lp.set_objective(3, q(6));
+        let rhs0 = if perturb_rhs { tweak(2, Q::zero()) } else { Q::zero() };
+        let rhs1 = if perturb_rhs { tweak(3, Q::zero()) } else { Q::zero() };
+        lp.add_constraint(
+            vec![(0, tweak(4, Q::ratio(1, 4))), (1, q(-60)), (2, Q::ratio(-1, 25)), (3, q(9))],
+            Relation::Le,
+            rhs0,
+        );
+        lp.add_constraint(
+            vec![(0, Q::ratio(1, 2)), (1, q(-90)), (2, tweak(5, Q::ratio(-1, 50))), (3, q(3))],
+            Relation::Le,
+            rhs1,
+        );
+        lp.add_constraint(vec![(2, q(1))], Relation::Le, tweak(6, q(1)));
+        let exact = lp.solve_with(Solver::Revised);
+        for pricing in [Pricing::PartialCandidate, Pricing::Devex] {
+            let opts = RevisedOptions { pricing, ..RevisedOptions::default() };
+            let (sol, _) = lp.solve_revised_with(&opts);
+            prop_assert_eq!(exact.status, sol.status, "{:?} k = {}", pricing, k);
+            if exact.status == LpStatus::Optimal {
+                prop_assert_eq!(&exact.objective_value, &sol.objective_value, "{:?} k = {}", pricing, k);
+                prop_assert!(lp.is_feasible_point(&sol.values));
+            }
+            let (hyb, stats) = lp.solve_hybrid_priced(pricing);
+            prop_assert_eq!(exact.status, hyb.status, "hybrid {:?} k = {}", pricing, k);
+            prop_assert_eq!(stats.hybrid_certified + stats.hybrid_fallbacks, 1);
+            if exact.status == LpStatus::Optimal {
+                prop_assert_eq!(&exact.objective_value, &hyb.objective_value, "hybrid {:?} k = {}", pricing, k);
+                prop_assert!(lp.is_feasible_point(&hyb.values));
+            }
         }
     }
 

@@ -299,7 +299,7 @@ impl Rational {
                 };
                 n / d
             }
-            Repr::Big { num, den } => num.to_f64() / den.to_f64(),
+            Repr::Big { num, den } => big_ratio_to_f64(num, den),
         }
     }
 
@@ -597,6 +597,33 @@ impl fmt::Display for Rational {
     }
 }
 
+/// `num/den` as the nearest `f64` for big operands. Converting each side
+/// separately collapses as soon as either magnitude leaves f64 range
+/// (`inf/inf = NaN`, `x/inf = 0`) even when the *ratio* is perfectly
+/// representable. Instead, pre-scale by the operands' bit lengths so the
+/// truncated integer quotient carries ~128 significant bits, convert that
+/// mantissa, and restore the power-of-two scale in two exact factors
+/// (split so a subnormal result survives the intermediate products).
+fn big_ratio_to_f64(num: &BigInt, den: &BigInt) -> f64 {
+    let n = num.magnitude();
+    let d = den.magnitude(); // canonical: denominator > 0
+    if n.is_zero() {
+        return 0.0;
+    }
+    let k = d.bits() as i64 - n.bits() as i64 + 128;
+    let q = if k >= 0 { n.shl(k as u64).div_rem(d).0 } else { n.div_rem(&d.shl(-k as u64)).0 };
+    // Result exponent ≈ 128 - k; beyond ±2400 the clamped scale already
+    // saturates to the correctly signed 0/inf.
+    let e = (-k).clamp(-2400, 2400);
+    let (h1, h2) = ((e / 2) as i32, (e - e / 2) as i32);
+    let mag = q.to_f64() * 2f64.powi(h1) * 2f64.powi(h2);
+    if num.is_negative() {
+        -mag
+    } else {
+        mag
+    }
+}
+
 impl fmt::Debug for Rational {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self)
@@ -694,6 +721,60 @@ mod tests {
     #[test]
     fn to_f64_close() {
         assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    /// `2^bits + 1` as a rational — odd, so it stays coprime to any power
+    /// of two and the ratio cannot demote to the small representation.
+    fn huge_odd(bits: u64) -> Rational {
+        use crate::bigint::Sign;
+        use crate::biguint::BigUint;
+        let mag = BigUint::from_u64(1).shl(bits).add(&BigUint::one());
+        Rational::from_bigint(BigInt::from_parts(Sign::Positive, mag))
+    }
+
+    fn pow2_q(bits: u64) -> Rational {
+        use crate::bigint::Sign;
+        use crate::biguint::BigUint;
+        Rational::from_bigint(BigInt::from_parts(Sign::Positive, BigUint::from_u64(1).shl(bits)))
+    }
+
+    /// Regression: both operands far beyond f64 range used to convert as
+    /// `inf/inf = NaN` (or `x/inf = 0`); the ratio itself is tame and
+    /// must convert to the nearest finite f64.
+    #[test]
+    fn to_f64_huge_over_huge() {
+        // (2^1500 + 1) / 2^1500 ≈ 1: nearest f64 is exactly 1.0.
+        let near_one = huge_odd(1500) / pow2_q(1500);
+        assert!(near_one.to_i128_pair().is_none(), "must exercise the big path");
+        assert_eq!(near_one.to_f64(), 1.0);
+        // (2^1500 + 1) / 2^1501 ≈ 1/2.
+        let near_half = huge_odd(1500) / pow2_q(1501);
+        assert_eq!(near_half.to_f64(), 0.5);
+        // Sign handling on both sides.
+        assert_eq!((-huge_odd(1500) / pow2_q(1500)).to_f64(), -1.0);
+        assert_eq!((-huge_odd(1500) / pow2_q(1501)).to_f64(), -0.5);
+    }
+
+    /// Big ratios whose value is finite but large/small still convert to
+    /// the correctly scaled f64 (including the subnormal range); only a
+    /// value genuinely outside f64 range saturates to ±inf/0.
+    #[test]
+    fn to_f64_big_scales() {
+        // (2^1100 + 1) / 2^300 ≈ 2^800 — large but finite.
+        let big = huge_odd(1100) / pow2_q(300);
+        assert_eq!(big.to_f64(), (2f64).powi(800));
+        // 1 / 2^1074 is the smallest positive subnormal.
+        let tiny = Rational::one() / pow2_q(1074);
+        assert_eq!(tiny.to_f64(), f64::MIN_POSITIVE * f64::EPSILON); // 2^-1074
+        assert!(tiny.to_f64() > 0.0);
+        // Genuine overflow/underflow saturates instead of NaN.
+        assert_eq!((huge_odd(3000) / pow2_q(100)).to_f64(), f64::INFINITY);
+        assert_eq!((-huge_odd(3000) / pow2_q(100)).to_f64(), f64::NEG_INFINITY);
+        assert_eq!((Rational::one() / huge_odd(3000)).to_f64(), 0.0);
+        // And everything above is finite-or-saturating, never NaN.
+        for v in [huge_odd(2000) / huge_odd(1999), huge_odd(1999) / huge_odd(2000)] {
+            assert!(v.to_f64().is_finite(), "{:?}", v.to_f64());
+        }
     }
 
     // ---- fast-path / escape behaviour -------------------------------
