@@ -1,0 +1,130 @@
+//! Batch serving: solve many independent scheduling instances
+//! concurrently on a dedicated [`hpool::ThreadPool`].
+//!
+//! The unit of parallelism is the *instance* — each instance runs the
+//! ordinary serial [`hsched_core::approx::two_approx`] pipeline on
+//! whichever worker picks it up, and results are keyed by the caller's
+//! instance id. Submission order and worker count therefore change only
+//! throughput and the per-worker split, never any `t_star` or makespan:
+//! the invariance suite in `tests/batch_invariance.rs` pins this with
+//! fixed-seed goldens at 1, 2, 4, and 8 workers.
+//!
+//! Tasks are dispatched from a root task *inside* the pool so they land
+//! on one worker's deque; every other worker that serves an instance
+//! must steal it, which is what [`BatchReport::steals`] counts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use hsched_core::approx::two_approx;
+use hsched_core::instance::Instance;
+use numeric::Q;
+
+/// One solved instance of a batch, keyed by the id it was submitted
+/// under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Caller-assigned instance id.
+    pub id: u64,
+    /// Minimal integral horizon with a feasible relaxation (`T*`).
+    pub t_star: u64,
+    /// Achieved makespan of the rounded schedule (≤ `2·T*`).
+    pub makespan: Q,
+}
+
+/// A completed batch: outcomes sorted by id plus serving statistics.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One outcome per submitted instance, sorted by id.
+    pub outcomes: Vec<BatchOutcome>,
+    /// Worker count of the dedicated pool that served the batch.
+    pub workers: usize,
+    /// Instances served per worker (sums to `outcomes.len()`). The
+    /// split varies run-to-run; the outcomes never do.
+    pub per_worker: Vec<usize>,
+    /// Cross-worker steals observed while serving (the work actually
+    /// moved between workers witness; 0 on a single-worker pool).
+    pub steals: u64,
+    /// Wall-clock time from first dispatch to last completion.
+    pub elapsed: Duration,
+}
+
+impl BatchReport {
+    /// Serving throughput in instances per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        self.outcomes.len() as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Solve every `(id, instance)` pair on a dedicated pool of `workers`
+/// threads and collect the outcomes keyed by id.
+///
+/// Each instance is solved by the serial two-approximation pipeline
+/// (instance-level parallelism only), so every outcome is bit-identical
+/// to a lone [`two_approx`] call — regardless of `workers` or the order
+/// of `batch`.
+pub fn solve_batch(batch: &[(u64, Instance)], workers: usize) -> BatchReport {
+    let pool = hpool::ThreadPool::new(workers.max(1));
+    let outcomes: Mutex<Vec<BatchOutcome>> = Mutex::new(Vec::with_capacity(batch.len()));
+    let served: Vec<AtomicUsize> = (0..pool.workers()).map(|_| AtomicUsize::new(0)).collect();
+    let start = Instant::now();
+    pool.scope(|s| {
+        let (pool, outcomes, served) = (&pool, &outcomes, &served);
+        // Root dispatcher: runs on a worker, so per-instance tasks go to
+        // its own deque and siblings must steal to participate.
+        s.spawn(move || {
+            pool.scope(|inner| {
+                for (id, instance) in batch {
+                    inner.spawn(move || {
+                        let res = two_approx(instance);
+                        if let Some(w) = pool.current_worker_index() {
+                            served[w].fetch_add(1, Ordering::Relaxed);
+                        }
+                        outcomes.lock().expect("no solver panic").push(BatchOutcome {
+                            id: *id,
+                            t_star: res.t_star,
+                            makespan: res.makespan,
+                        });
+                    });
+                }
+            });
+        });
+    });
+    let elapsed = start.elapsed();
+    let mut outcomes = outcomes.into_inner().expect("no solver panic");
+    outcomes.sort_by_key(|o| o.id);
+    BatchReport {
+        outcomes,
+        workers: pool.workers(),
+        per_worker: served.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        steals: pool.steals(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn batch_matches_lone_solves_and_attributes_work() {
+        let batch: Vec<(u64, Instance)> = (0..6)
+            .map(|k| (k, fixtures::e3_instance(laminar::topology::semi_partitioned(3), 6, 100 + k)))
+            .collect();
+        let report = solve_batch(&batch, 2);
+        assert_eq!(report.outcomes.len(), batch.len());
+        assert_eq!(report.per_worker.iter().sum::<usize>(), batch.len());
+        assert!(report.outcomes.windows(2).all(|w| w[0].id < w[1].id), "sorted by id");
+        for (id, instance) in &batch {
+            let lone = two_approx(instance);
+            let got = &report.outcomes[*id as usize];
+            assert_eq!(got.t_star, lone.t_star, "instance {id}");
+            assert_eq!(got.makespan, lone.makespan, "instance {id}");
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E13).
+//! The experiment harness: regenerates every evaluation table (E1–E14).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -96,8 +96,11 @@ fn main() {
     if want("e13") {
         reports.push(ex::e13());
     }
+    if want("e14") {
+        reports.push(ex::e14());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e13 or all");
+        eprintln!("unknown experiment id; use e1..e14 or all");
         std::process::exit(2);
     }
 

@@ -589,8 +589,10 @@ pub fn e11_with(budget: Duration) -> Report {
             }
             let n = *E3_SIZES.last().expect("nonempty");
             let inst = fixtures::e3_instance(fam.clone(), n, seed * 97 + n as u64);
-            let cold_opts = ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: false };
-            let warm_opts = ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: true };
+            let cold_opts =
+                ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: false, ..Default::default() };
+            let warm_opts =
+                ExactOptions { node_limit: E3_NODE_LIMIT, warm_start: true, ..Default::default() };
             let t0 = Instant::now();
             let cold = solve_exact(&inst, &cold_opts);
             let d_cold = t0.elapsed();
@@ -924,6 +926,105 @@ pub fn e13_with(budget: Duration) -> Report {
     r
 }
 
+/// Default wall-clock budget for a full E14 run.
+pub const E14_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// Independent instances in the E14 serving batch.
+pub const E14_BATCH: usize = 24;
+
+/// Jobs per E14 batch instance (semi-partitioned, 3 machines).
+pub const E14_N: usize = 24;
+
+/// Worker counts swept by E14.
+pub const E14_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// E14 — batch serving throughput: the same fixed-seed batch of
+/// independent instances served by [`crate::batch::solve_batch`] on
+/// dedicated pools of 1, 2, 4, and 8 workers. Worker count changes only
+/// throughput and the per-worker split; outcome agreement with the
+/// single-worker pass is *enforced* (a mismatch aborts the run — the
+/// E11 policy), and `tests/batch_invariance.rs` pins the same
+/// invariant against fixed goldens and shuffled submission orders.
+pub fn e14() -> Report {
+    e14_with(E14_DEFAULT_BUDGET)
+}
+
+/// [`e14`] under an explicit wall-clock budget: remaining worker counts
+/// are skipped — recording how much was covered — once the budget is
+/// spent.
+pub fn e14_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t =
+        Table::new(&["workers", "instances", "time", "inst/s", "speedup vs 1w", "steals", "split"]);
+    let batch: Vec<_> = (0..E14_BATCH as u64)
+        .map(|k| (k, fixtures::e3_instance(topology::semi_partitioned(3), E14_N, 1400 + k)))
+        .collect();
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut truncated = false;
+    let mut baseline: Option<f64> = None;
+    let mut reference: Option<Vec<crate::batch::BatchOutcome>> = None;
+    for workers in E14_WORKERS {
+        if start.elapsed() > budget {
+            truncated = true;
+            break;
+        }
+        let report = crate::batch::solve_batch(&batch, workers);
+        match &reference {
+            None => reference = Some(report.outcomes.clone()),
+            Some(r) => assert!(
+                *r == report.outcomes,
+                "batch outcomes must be worker-count invariant (diverged at {workers} workers)"
+            ),
+        }
+        let tput = report.throughput();
+        let speedup = baseline.map(|b| tput / b);
+        if baseline.is_none() {
+            baseline = Some(tput);
+        }
+        if workers == 4 && hw >= 4 {
+            let s = speedup.unwrap_or(1.0);
+            assert!(s >= 2.5, "expected ≥2.5× batch throughput at 4 workers, got {s:.2}×");
+        }
+        t.row(vec![
+            report.workers.to_string(),
+            report.outcomes.len().to_string(),
+            format!("{:.1?}", report.elapsed),
+            format!("{tput:.0}"),
+            speedup.map_or("1.00×".into(), |s| format!("{s:.2}×")),
+            report.steals.to_string(),
+            report.per_worker.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("/"),
+        ]);
+    }
+
+    let mut r = Report::new(
+        "e14",
+        "Batch serving: fixed-seed instance batch on 1/2/4/8-worker pools, \
+         throughput with enforced outcome invariance",
+        t,
+    )
+    .seeds(format!(
+        "batch of {E14_BATCH} e3_instances over semi_partitioned(3), n = {E14_N}, \
+         seed = 1400 + id for id in 0..{E14_BATCH}"
+    ))
+    .note(
+        "each instance runs the serial two_approx pipeline on whichever worker steals it; \
+         t_star/makespan agreement with the 1-worker pass is asserted per sweep point — \
+         a disagreement aborts the run. steals counts cross-worker task migrations; split \
+         is instances served per worker (varies run to run, outcomes never do)",
+    )
+    .note(format!(
+        "this host exposes {hw} hardware thread(s); wall-clock speedup needs ≥2 — with \
+         fewer, extra workers only demonstrate the invariance, not scaling"
+    ));
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1017,6 +1118,32 @@ mod tests {
         let r = e13_with(Duration::ZERO);
         assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
         assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// E14 must stay inside the regime that keeps `harness all`
+    /// terminating in about a minute, and its wall-clock budget must
+    /// actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e14_configuration_stays_under_budget() {
+        assert!(E14_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E14_BATCH <= 64 && E14_N <= 64, "batch must stay seconds-scale per sweep point");
+        assert!(E14_WORKERS[0] == 1, "the 1-worker pass is the invariance reference");
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e14_with(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// One real E14 sweep point: a 2-worker serve must reproduce the
+    /// 1-worker outcomes bit-for-bit (enforced inside `e14_with`, which
+    /// aborts on divergence).
+    #[test]
+    fn e14_smoke() {
+        let s = e14_with(Duration::from_secs(300)).render_text();
+        assert!(s.contains("steals"));
+        assert!(s.contains("1.00×"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! regenerates it — so the same run can be rendered as an aligned text
 //! table, CSV, JSON, or the Markdown committed in EXPERIMENTS.md.
 
+pub mod batch;
 pub mod experiments;
 pub mod fixtures;
 

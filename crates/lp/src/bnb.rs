@@ -6,6 +6,18 @@
 //! branch and bound: the LP relaxation prunes (its value is an exact
 //! lower bound — no tolerances), branching fixes the most fractional
 //! binary variable, and the better-rounded branch is explored first.
+//!
+//! With `threads > 1` the subtrees are explored by a worker pool over a
+//! shared stack. The serial answer is still reproduced bit-for-bit:
+//! every node carries its DFS path (near = 0, far = 1), the incumbent
+//! is reduced lexicographically by `(objective, path)`, and pruning
+//! only ever discards nodes that order *after* the current incumbent —
+//! serial DFS visits nodes in exactly path order, so the path-minimal
+//! optimum the parallel search converges to is the serial incumbent.
+//! Only node *counts* vary with the worker count, never the result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use numeric::Q;
 
@@ -31,6 +43,12 @@ pub struct BnbOptions {
     /// yields exact relaxation bounds; the default stays
     /// [`Solver::Revised`] to keep node pivot paths bit-reproducible.
     pub solver: Solver,
+    /// Workers exploring subtrees concurrently (`0` = the
+    /// [`hpool::default_threads`] env-driven default, `1` = the serial
+    /// path). Status, objective, and incumbent point are bit-identical
+    /// for every value; only [`MilpSolution::nodes`] (and its per-worker
+    /// split) varies.
+    pub threads: usize,
 }
 
 impl Default for BnbOptions {
@@ -40,6 +58,7 @@ impl Default for BnbOptions {
             first_feasible: false,
             warm_start: true,
             solver: Solver::default(),
+            threads: 0,
         }
     }
 }
@@ -69,6 +88,10 @@ pub struct MilpSolution {
     pub has_incumbent: bool,
     /// Number of branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Nodes explored per worker (a single entry on the serial path).
+    /// Sums to `nodes`; the split varies run-to-run, the result never
+    /// does.
+    pub worker_nodes: Vec<usize>,
 }
 
 /// Minimize `lp`'s objective with the variables in `binary` restricted to
@@ -79,6 +102,11 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
     let mut root = lp.clone();
     for &v in binary {
         root.add_constraint(vec![(v, Q::one())], Relation::Le, Q::one());
+    }
+
+    let threads = hpool::resolve_threads(opts.threads);
+    if threads > 1 {
+        return solve_parallel(&root, lp, binary, opts, threads);
     }
 
     let mut best: Option<(Q, Vec<Q>)> = None;
@@ -184,6 +212,16 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
         }
     }
 
+    finish(best, lp.num_vars(), nodes, vec![nodes], hit_limit)
+}
+
+fn finish(
+    best: Option<(Q, Vec<Q>)>,
+    num_vars: usize,
+    nodes: usize,
+    worker_nodes: Vec<usize>,
+    hit_limit: bool,
+) -> MilpSolution {
     match best {
         Some((obj, values)) => MilpSolution {
             status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Optimal },
@@ -191,14 +229,224 @@ pub fn solve_binary(lp: &LinearProgram, binary: &[usize], opts: &BnbOptions) -> 
             objective: obj,
             has_incumbent: true,
             nodes,
+            worker_nodes,
         },
         None => MilpSolution {
             status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Infeasible },
-            values: vec![Q::zero(); lp.num_vars()],
+            values: vec![Q::zero(); num_vars],
             objective: Q::zero(),
             has_incumbent: false,
             nodes,
+            worker_nodes,
         },
+    }
+}
+
+/// A subtree-exploration work item: the fixings that define the node,
+/// the warm-start hint from the parent, and the node's DFS path
+/// (near = 0, far = 1) — the key the incumbent reduction orders by.
+struct Node {
+    fixings: Vec<(usize, bool)>,
+    hint: Option<Vec<usize>>,
+    path: Vec<u8>,
+}
+
+/// State shared by the B&B workers under one mutex.
+struct Search {
+    stack: Vec<Node>,
+    /// Workers currently solving a node (may still push children).
+    active: usize,
+    nodes: usize,
+    /// Incumbent as `(objective, leaf path, point)`, reduced by
+    /// lexicographic `(objective, path)` — exactly the order serial DFS
+    /// discovers leaves in.
+    best: Option<(Q, Vec<u8>, Vec<Q>)>,
+    hit_limit: bool,
+}
+
+fn solve_parallel(
+    root: &LinearProgram,
+    lp: &LinearProgram,
+    binary: &[usize],
+    opts: &BnbOptions,
+    threads: usize,
+) -> MilpSolution {
+    let shared = (
+        Mutex::new(Search {
+            stack: vec![Node { fixings: Vec::new(), hint: None, path: Vec::new() }],
+            active: 0,
+            nodes: 0,
+            best: None,
+            hit_limit: false,
+        }),
+        Condvar::new(),
+    );
+    let counts: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    // Every worker is a pool task (the caller only joins): a worker's
+    // nested pricing scans then land on its own deque, where its joins
+    // drain them itself — an idle sibling blocked on the condvar here
+    // can never strand them.
+    hpool::ThreadPool::global().scope(|s| {
+        for w in 0..threads {
+            let (shared, counts) = (&shared, &counts);
+            s.spawn(move || {
+                let n = bnb_worker(root, binary, opts, shared);
+                counts[w].store(n, Ordering::Relaxed);
+            });
+        }
+    });
+    let search = shared.0.into_inner().expect("no worker panicked holding the search lock");
+    let worker_nodes: Vec<usize> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    debug_assert_eq!(worker_nodes.iter().sum::<usize>(), search.nodes);
+    let best = search.best.map(|(obj, _, values)| (obj, values));
+    finish(best, lp.num_vars(), search.nodes, worker_nodes, search.hit_limit)
+}
+
+/// One worker: pop → solve relaxation → prune/accept/branch, until the
+/// stack is empty and no sibling can refill it. Returns its node count.
+fn bnb_worker(
+    root: &LinearProgram,
+    binary: &[usize],
+    opts: &BnbOptions,
+    shared: &(Mutex<Search>, Condvar),
+) -> usize {
+    let (mx, cv) = shared;
+    let half = Q::ratio(1, 2);
+    let mut processed = 0usize;
+    loop {
+        let node = {
+            let mut s = mx.lock().expect("search lock");
+            loop {
+                if let Some(node) = s.stack.pop() {
+                    if s.hit_limit || s.nodes >= opts.node_limit {
+                        s.hit_limit = true;
+                        s.stack.clear();
+                        continue;
+                    }
+                    // In first-feasible mode serial stops at its first
+                    // feasible leaf, so nodes ordered after the current
+                    // best can never be the answer — drop them unsolved
+                    // (and uncounted, as serial never visits them).
+                    if opts.first_feasible {
+                        if let Some((_, bpath, _)) = &s.best {
+                            if node.path > *bpath {
+                                continue;
+                            }
+                        }
+                    }
+                    s.nodes += 1;
+                    s.active += 1;
+                    break node;
+                }
+                if s.active == 0 {
+                    cv.notify_all();
+                    return processed;
+                }
+                s = cv.wait(s).expect("search lock");
+            }
+        };
+        processed += 1;
+
+        // Node relaxation — identical to the serial path, outside the
+        // lock. Each node solve is itself serial (`solve_warm_with` /
+        // `solve_with` default to the caller's options), so vertices and
+        // bases are the serial ones bit-for-bit.
+        let mut node_lp = root.clone();
+        for &(var, val) in &node.fixings {
+            let rhs = if val { Q::one() } else { Q::zero() };
+            node_lp.add_constraint(vec![(var, Q::one())], Relation::Eq, rhs);
+        }
+        let relax = match &node.hint {
+            Some(hint) if opts.warm_start => node_lp.solve_warm_with(hint, opts.solver),
+            _ => node_lp.solve_with(opts.solver),
+        };
+
+        // Branch variable (pure function of the relaxation, lock-free):
+        // most fractional, or the first unfixed binary without a point.
+        let branch_var: Option<usize> = if relax.status == LpStatus::Optimal {
+            let mut bv: Option<(usize, Q)> = None;
+            for &v in binary {
+                let x = &relax.values[v];
+                if x.is_zero() || *x == Q::one() {
+                    continue;
+                }
+                let dist = (x.clone() - half.clone()).abs();
+                match &bv {
+                    None => bv = Some((v, dist)),
+                    Some((_, best_dist)) => {
+                        if dist < *best_dist {
+                            bv = Some((v, dist));
+                        }
+                    }
+                }
+            }
+            bv.map(|(v, _)| v)
+        } else if relax.status == LpStatus::Unbounded {
+            let fixed: Vec<usize> = node.fixings.iter().map(|&(v, _)| v).collect();
+            binary.iter().find(|v| !fixed.contains(v)).copied()
+        } else {
+            None
+        };
+
+        let mut s = mx.lock().expect("search lock");
+        s.active -= 1;
+        if !s.hit_limit && relax.status != LpStatus::Infeasible {
+            // Bound pruning against the *current* incumbent: discard
+            // only nodes ordering after it in `(objective, path)` — the
+            // nodes serial DFS provably prunes or never reaches.
+            let pruned = match (&relax.status, &s.best) {
+                (LpStatus::Optimal, Some((bobj, bpath, _))) => {
+                    if opts.first_feasible {
+                        node.path > *bpath
+                    } else {
+                        relax.objective_value > *bobj
+                            || (relax.objective_value == *bobj && node.path > *bpath)
+                    }
+                }
+                _ => false,
+            };
+            if !pruned {
+                match branch_var {
+                    None if relax.status == LpStatus::Optimal => {
+                        let accept = match &s.best {
+                            None => true,
+                            Some((bobj, bpath, _)) => {
+                                if opts.first_feasible {
+                                    node.path < *bpath
+                                } else {
+                                    relax.objective_value < *bobj
+                                        || (relax.objective_value == *bobj && node.path < *bpath)
+                                }
+                            }
+                        };
+                        if accept {
+                            s.best = Some((
+                                relax.objective_value.clone(),
+                                node.path.clone(),
+                                relax.values.clone(),
+                            ));
+                        }
+                    }
+                    None => {}
+                    Some(v) => {
+                        let hint = (relax.status == LpStatus::Optimal).then(|| relax.basis.clone());
+                        let prefer_one =
+                            relax.status == LpStatus::Optimal && relax.values[v] >= half;
+                        let mut near = node.fixings.clone();
+                        let mut far = node.fixings;
+                        near.push((v, prefer_one));
+                        far.push((v, !prefer_one));
+                        let mut near_path = node.path.clone();
+                        let mut far_path = node.path;
+                        near_path.push(0);
+                        far_path.push(1);
+                        s.stack.push(Node { fixings: far, hint: hint.clone(), path: far_path });
+                        s.stack.push(Node { fixings: near, hint, path: near_path });
+                    }
+                }
+            }
+        }
+        cv.notify_all();
     }
 }
 

@@ -37,7 +37,7 @@ use numeric::Q;
 use crate::factor::{Factorization, SVec};
 use crate::problem::{LinearProgram, Relation};
 use crate::revised::{
-    PriceState, Pricing, ReuseState, RevisedOptions, RevisedStats, WarmCache, VIRTUAL,
+    Allowed, PriceState, Pricing, ReuseState, RevisedOptions, RevisedStats, WarmCache, VIRTUAL,
 };
 use crate::simplex::{LpSolution, LpStatus};
 
@@ -60,6 +60,16 @@ const EPS_INFEAS: f64 = 1e-7;
 /// Refactorize (and recompute `x_B` from scratch, limiting drift) after
 /// this many float eta updates.
 const REFRESH_INTERVAL: usize = 64;
+
+/// Minimum column count before the float pricing scans split across the
+/// pool. Float reduced costs are ~ns each (vs µs for the exact core's),
+/// so the break-even span is much larger than the exact solver's
+/// [`crate::revised`] threshold.
+const FPAR_MIN_COLS: usize = 4096;
+
+/// Minimum row count before the certifier's exact `ρᵀA` accumulation
+/// splits across the pool.
+const PAR_MIN_ROWS: usize = 64;
 
 // ---------------------------------------------------------------------
 // f64 mirror of factor.rs: product-form basis inverse.
@@ -294,6 +304,22 @@ struct FloatCore<'a> {
     price: PriceState,
     /// Pricing counters, merged into the solve's [`RevisedStats`].
     stats: &'a mut RevisedStats,
+    /// Resolved worker count (≥ 1) for the whole-column pricing scans.
+    threads: usize,
+}
+
+/// Float reduced cost `c_j − yᵀA_j` as a free function, shareable across
+/// pricing chunks (the core itself holds `&mut` stats and cannot cross
+/// threads).
+#[inline]
+fn f_reduced_cost(a_cols: &FMat, cost: &[f64], y: &[f64], j: usize) -> f64 {
+    let mut r = cost[j];
+    for &(i, v) in a_cols.col(j) {
+        if y[i] != 0.0 {
+            r -= v * y[i];
+        }
+    }
+    r
 }
 
 impl<'a> FloatCore<'a> {
@@ -320,13 +346,7 @@ impl<'a> FloatCore<'a> {
     }
 
     fn reduced_cost(&self, cost: &[f64], y: &[f64], j: usize) -> f64 {
-        let mut r = cost[j];
-        for &(i, v) in self.a_cols.col(j) {
-            if y[i] != 0.0 {
-                r -= v * y[i];
-            }
-        }
-        r
+        f_reduced_cost(self.a_cols, cost, y, j)
     }
 
     fn transformed_entry(&self, rho: &[f64], j: usize) -> f64 {
@@ -425,7 +445,7 @@ impl<'a> FloatCore<'a> {
 
     /// One primal phase; entering columns selected by the configured
     /// [`Pricing`] strategy (Bland order mirrors the exact core).
-    fn run_phase(&mut self, cost: &[f64], allowed: &dyn Fn(usize) -> bool) -> FPhase {
+    fn run_phase(&mut self, cost: &[f64], allowed: Allowed) -> FPhase {
         loop {
             if self.pivots > self.pivot_cap {
                 return FPhase::GaveUp;
@@ -459,7 +479,7 @@ impl<'a> FloatCore<'a> {
         &mut self,
         cost: &[f64],
         y: &[f64],
-        allowed: &dyn Fn(usize) -> bool,
+        allowed: Allowed,
     ) -> Result<Option<usize>, ()> {
         if self.price.pricing == Pricing::Bland || self.price.bland_mode {
             return self.bland_enter(cost, y, allowed);
@@ -476,14 +496,53 @@ impl<'a> FloatCore<'a> {
     }
 
     /// Bland's rule: smallest allowed column with reduced cost below
-    /// `-EPS` — verbatim the historical float scan.
+    /// `-EPS` — the historical float scan, split into contiguous chunks
+    /// on wide programs. Each chunk stops at its first event (hit or
+    /// non-finite value) and the merge takes the first event in chunk
+    /// order, which is exactly the serial scan's first event.
     fn bland_enter(
         &mut self,
         cost: &[f64],
         y: &[f64],
-        allowed: &dyn Fn(usize) -> bool,
+        allowed: Allowed,
     ) -> Result<Option<usize>, ()> {
-        for j in 0..self.a_cols.cols() {
+        let cols = self.a_cols.cols();
+        let parts = if self.threads > 1 && cols >= FPAR_MIN_COLS { self.threads } else { 1 };
+        if parts > 1 {
+            let chunk = cols.div_ceil(parts);
+            let (a_cols, in_basis) = (self.a_cols, &self.in_basis);
+            let scans = hpool::ThreadPool::global().run_parts(parts, |p| {
+                let lo = p * chunk;
+                let hi = cols.min(lo + chunk);
+                let mut priced = 0usize;
+                let mut event: Result<Option<usize>, ()> = Ok(None);
+                for j in lo..hi {
+                    if !allowed(j) || in_basis[j] {
+                        continue;
+                    }
+                    priced += 1;
+                    let rc = f_reduced_cost(a_cols, cost, y, j);
+                    if !rc.is_finite() {
+                        event = Err(());
+                        break;
+                    }
+                    if rc < -EPS {
+                        event = Ok(Some(j));
+                        break;
+                    }
+                }
+                (priced, event)
+            });
+            let mut out: Result<Option<usize>, ()> = Ok(None);
+            for (priced, event) in scans {
+                self.stats.columns_priced += priced;
+                if matches!(out, Ok(None)) {
+                    out = event;
+                }
+            }
+            return out;
+        }
+        for j in 0..cols {
             if !allowed(j) || self.in_basis[j] {
                 continue;
             }
@@ -503,12 +562,15 @@ impl<'a> FloatCore<'a> {
     /// drop entries whose reduced cost rose above `-EPS`, pick the most
     /// negative (or max `rc²/γ_j` under devex), ties to the smaller
     /// column.
+    // (Candidate lists are capped at ~sqrt(cols) ≤ 512 entries and float
+    // reduced costs are nanoseconds each, so re-pricing the list stays
+    // serial — only the whole-column scans above and below parallelize.)
     fn select_candidates(
         &mut self,
         list: &mut Vec<usize>,
         cost: &[f64],
         y: &[f64],
-        allowed: &dyn Fn(usize) -> bool,
+        allowed: Allowed,
     ) -> Result<Option<usize>, ()> {
         let devex = self.price.pricing == Pricing::Devex;
         let mut best: Option<(usize, f64)> = None;
@@ -559,7 +621,7 @@ impl<'a> FloatCore<'a> {
         list: &mut Vec<usize>,
         cost: &[f64],
         y: &[f64],
-        allowed: &dyn Fn(usize) -> bool,
+        allowed: Allowed,
     ) -> Result<(), ()> {
         let cols = self.a_cols.cols();
         if cols == 0 {
@@ -567,6 +629,55 @@ impl<'a> FloatCore<'a> {
         }
         let cap = PriceState::list_cap(cols);
         let start = self.price.cursor % cols;
+        let parts = if self.threads > 1 && cols >= FPAR_MIN_COLS { self.threads } else { 1 };
+        if parts > 1 {
+            // Ring chunks merged in chunk order = the serial ring walk;
+            // a chunk's pre-error hits precede its error, so the merge
+            // sees every event in exactly the serial order.
+            let chunk = cols.div_ceil(parts);
+            let (a_cols, in_basis) = (self.a_cols, &self.in_basis);
+            let found = hpool::ThreadPool::global().run_parts(parts, |p| {
+                let lo = p * chunk;
+                let hi = cols.min(lo + chunk);
+                let mut hits = Vec::new();
+                let mut priced = 0usize;
+                let mut erred = false;
+                for step in lo..hi {
+                    let j = (start + step) % cols;
+                    if !allowed(j) || in_basis[j] {
+                        continue;
+                    }
+                    priced += 1;
+                    let rc = f_reduced_cost(a_cols, cost, y, j);
+                    if !rc.is_finite() {
+                        erred = true;
+                        break;
+                    }
+                    if rc < -EPS {
+                        hits.push(j);
+                        if hits.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+                (priced, hits, erred)
+            });
+            for (priced, hits, erred) in found {
+                self.stats.columns_priced += priced;
+                for j in hits {
+                    list.push(j);
+                    if list.len() >= cap {
+                        self.price.cursor = (j + 1) % cols;
+                        return Ok(());
+                    }
+                }
+                if erred {
+                    return Err(());
+                }
+            }
+            self.price.cursor = start;
+            return Ok(());
+        }
         for step in 0..cols {
             let j = (start + step) % cols;
             if !allowed(j) || self.in_basis[j] {
@@ -677,6 +788,7 @@ enum FloatProposal {
 /// Float mirror of the cold two-phase `solve_revised_with`: identity
 /// slack/artificial start, phase 1 on the artificial sum, drive-out,
 /// phase 2 on the real objective.
+#[allow(clippy::too_many_arguments)] // internal mirror of the exact path's parameter list
 fn float_cold(
     a_cols: &FMat,
     rhs: &[f64],
@@ -685,6 +797,7 @@ fn float_cold(
     art_start: usize,
     pricing: Pricing,
     stats: &mut RevisedStats,
+    threads: usize,
 ) -> FloatProposal {
     let m = rhs.len();
     let cols = a_cols.cols();
@@ -705,6 +818,7 @@ fn float_cold(
         pivot_cap: 64 * (m + cols) + 1024,
         price: PriceState::new(pricing, cols),
         stats,
+        threads,
     };
 
     if cols > art_start {
@@ -769,6 +883,7 @@ fn float_warm(
     hint: &[usize],
     pricing: Pricing,
     stats: &mut RevisedStats,
+    threads: usize,
 ) -> FloatProposal {
     let m = rhs.len();
     let cols = a_cols.cols();
@@ -837,6 +952,7 @@ fn float_warm(
         pivot_cap: 64 * (m + cols) + 1024,
         price: PriceState::new(pricing, cols),
         stats,
+        threads,
     };
 
     // Dual-simplex repair of b ≥ 0, Bland row choice as in the exact
@@ -906,9 +1022,13 @@ struct Assembled {
     f_cols: FMat,
     f_rhs: Vec<f64>,
     f_cost: Vec<f64>,
+    /// Resolved worker count (≥ 1) for the certifier's exact dot
+    /// products; exact addition is associative, so any value produces
+    /// bit-identical certificates.
+    threads: usize,
 }
 
-fn assemble_hybrid(lp: &LinearProgram) -> Assembled {
+fn assemble_hybrid(lp: &LinearProgram, threads: usize) -> Assembled {
     let n = lp.num_vars();
     let m = lp.constraints.len();
     let mut neg = Vec::with_capacity(m);
@@ -1010,7 +1130,7 @@ fn assemble_hybrid(lp: &LinearProgram) -> Assembled {
     for (j, c) in lp.objective.iter().enumerate() {
         f_cost[j] = c.to_f64();
     }
-    Assembled { n, m, cols, neg, rels, rhs, slack, f_cols, f_rhs, f_cost }
+    Assembled { n, m, cols, neg, rels, rhs, slack, f_cols, f_rhs, f_cost, threads }
 }
 
 impl Assembled {
@@ -1052,6 +1172,42 @@ impl Assembled {
     /// no normalization pass is needed); only rows with `ρ_i ≠ 0` cost
     /// exact arithmetic.
     fn dots(&self, lp: &LinearProgram, rho: &[Q]) -> Vec<Q> {
+        let parts = if self.threads > 1 && self.m >= PAR_MIN_ROWS { self.threads } else { 1 };
+        if parts > 1 {
+            // Row chunks accumulate into private partial vectors which
+            // are then summed in chunk order. Exact rational addition is
+            // associative and commutative, so the result is bit-identical
+            // to the serial row-major pass at any thread count.
+            let chunk = self.m.div_ceil(parts);
+            let partials = hpool::ThreadPool::global().run_parts(parts, |p| {
+                let lo = p * chunk;
+                let hi = self.m.min(lo + chunk);
+                let mut dots = vec![Q::zero(); self.n];
+                for i in lo..hi {
+                    let c = &lp.constraints[i];
+                    if rho[i].is_zero() {
+                        continue;
+                    }
+                    let r = if self.neg[i] { -rho[i].clone() } else { rho[i].clone() };
+                    for (idx, coef) in &c.coeffs {
+                        if !coef.is_zero() {
+                            dots[*idx] += coef.clone() * r.clone();
+                        }
+                    }
+                }
+                dots
+            });
+            let mut iter = partials.into_iter();
+            let mut dots = iter.next().expect("parts >= 2");
+            for part in iter {
+                for (d, v) in dots.iter_mut().zip(part) {
+                    if !v.is_zero() {
+                        *d += v;
+                    }
+                }
+            }
+            return dots;
+        }
         let mut dots = vec![Q::zero(); self.n];
         for (i, c) in lp.constraints.iter().enumerate() {
             if rho[i].is_zero() {
@@ -1428,7 +1584,8 @@ impl LinearProgram {
         cache: Option<&mut WarmCache>,
         pricing: Pricing,
     ) -> (LpSolution, RevisedStats) {
-        let mut asm = assemble_hybrid(self);
+        let threads = hpool::resolve_threads(cache.as_deref().map_or(0, |c| c.threads()));
+        let mut asm = assemble_hybrid(self, threads);
 
         // Cold float layout appends artificial columns, mirroring the
         // exact cold solver's structural | slack | artificial order.
@@ -1459,7 +1616,7 @@ impl LinearProgram {
         }
         asm.f_cost.resize(next_art, 0.0);
 
-        let mut stats = RevisedStats::default();
+        let mut stats = RevisedStats { threads, ..RevisedStats::default() };
         let proposal = float_cold(
             &asm.f_cols,
             &asm.f_rhs,
@@ -1468,6 +1625,7 @@ impl LinearProgram {
             art_start,
             pricing,
             &mut stats,
+            threads,
         );
         asm.f_cols.truncate_cols(art_start);
         asm.f_cost.truncate(art_start);
@@ -1480,8 +1638,11 @@ impl LinearProgram {
                 (sol, stats)
             }
             None => {
-                let (sol, s) = self
-                    .solve_revised_with(&RevisedOptions { pricing, ..RevisedOptions::default() });
+                let (sol, s) = self.solve_revised_with(&RevisedOptions {
+                    pricing,
+                    threads,
+                    ..RevisedOptions::default()
+                });
                 stats.absorb(&s);
                 stats.hybrid_fallbacks = 1;
                 (sol, stats)
@@ -1503,8 +1664,9 @@ impl LinearProgram {
         hint: &[usize],
         mut cache: Option<&mut WarmCache>,
     ) -> (LpSolution, RevisedStats) {
-        let asm = assemble_hybrid(self);
-        let mut stats = RevisedStats::default();
+        let threads = hpool::resolve_threads(cache.as_deref().map_or(0, |c| c.threads()));
+        let asm = assemble_hybrid(self, threads);
+        let mut stats = RevisedStats { threads, ..RevisedStats::default() };
         let pricing = cache.as_deref().map(|c| c.pricing()).unwrap_or_default();
 
         // Hint-first certification: no pivots of any kind when the
@@ -1552,7 +1714,8 @@ impl LinearProgram {
             }
         }
 
-        let proposal = float_warm(&asm.f_cols, &asm.f_rhs, &asm.f_cost, hint, pricing, &mut stats);
+        let proposal =
+            float_warm(&asm.f_cols, &asm.f_rhs, &asm.f_cost, hint, pricing, &mut stats, threads);
 
         let reuse = match (&proposal, cache.as_deref_mut()) {
             // Only lift the cached state out for a clean full-rank

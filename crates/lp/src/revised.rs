@@ -85,6 +85,16 @@ pub struct RevisedOptions {
     pub refactor_fill_factor: usize,
     /// Entering-column selection strategy (default: [`Pricing::Bland`]).
     pub pricing: Pricing,
+    /// Pricing-scan parallelism: the number of chunks the reduced-cost
+    /// scans are split into, executed on [`hpool::ThreadPool::global`].
+    /// `0` (the default) means [`hpool::default_threads`] — serial
+    /// unless `HSCHED_THREADS` opts the process in; `1` forces serial.
+    /// Any value yields the **same pivot path**: chunk results are
+    /// reduced in column order, so Bland's entering column (and the
+    /// candidate list under the other strategies) is identical to the
+    /// serial scan — only [`RevisedStats::columns_priced`] may differ
+    /// (chunks past the winning one scan speculatively).
+    pub threads: usize,
 }
 
 impl Default for RevisedOptions {
@@ -93,6 +103,7 @@ impl Default for RevisedOptions {
             refactor_interval: 64,
             refactor_fill_factor: 4,
             pricing: Pricing::default(),
+            threads: 0,
         }
     }
 }
@@ -121,6 +132,10 @@ pub struct RevisedStats {
     pub candidate_refills: usize,
     /// Devex reference-weight resets on refactorization.
     pub devex_resets: usize,
+    /// Resolved pricing-scan thread count this solve ran with (1 =
+    /// serial). Results are identical for every value; `columns_priced`
+    /// is the only counter that may vary with it.
+    pub threads: usize,
 }
 
 impl RevisedStats {
@@ -135,6 +150,7 @@ impl RevisedStats {
         self.columns_priced += other.columns_priced;
         self.candidate_refills += other.candidate_refills;
         self.devex_resets += other.devex_resets;
+        self.threads = self.threads.max(other.threads);
     }
 }
 
@@ -164,6 +180,14 @@ pub struct WarmCache {
     pub(crate) columns_priced: usize,
     pub(crate) candidate_refills: usize,
     pub(crate) devex_resets: usize,
+    /// Pricing-scan parallelism threaded into every solve (see
+    /// [`RevisedOptions::threads`]; 0 = the env-driven default).
+    pub(crate) threads: usize,
+    /// One entry per worker cache folded in via
+    /// [`WarmCache::absorb_worker`]: that worker's fallback count
+    /// (warm + hybrid) — the per-worker breakdown the batch/B&B layers
+    /// report.
+    pub(crate) per_worker_fallbacks: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
@@ -258,11 +282,73 @@ impl WarmCache {
     pub fn hybrid_fallbacks(&self) -> usize {
         self.hybrid_fallbacks
     }
+
+    /// Set the pricing-scan parallelism threaded into every solve driven
+    /// through this cache (see [`RevisedOptions::threads`]; 0 = the
+    /// env-driven default). Results are identical for every value.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The configured pricing-scan parallelism (0 = env default).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fold a worker's cache into this aggregate: all counters are
+    /// summed and the worker's fallback total (warm + hybrid) is
+    /// recorded as one entry of [`WarmCache::per_worker_fallbacks`].
+    /// Hints and reuse state are *not* merged — they are only valid for
+    /// the worker's own solve sequence.
+    pub fn absorb_worker(&mut self, worker: &WarmCache) {
+        self.factor_reuses += worker.factor_reuses;
+        self.warm_fallbacks += worker.warm_fallbacks;
+        self.hybrid_certified += worker.hybrid_certified;
+        self.hybrid_fallbacks += worker.hybrid_fallbacks;
+        self.columns_priced += worker.columns_priced;
+        self.candidate_refills += worker.candidate_refills;
+        self.devex_resets += worker.devex_resets;
+        self.per_worker_fallbacks.push(worker.warm_fallbacks + worker.hybrid_fallbacks);
+    }
+
+    /// Per-worker fallback counts recorded by [`WarmCache::absorb_worker`]
+    /// (empty for caches never used as a merge target).
+    pub fn per_worker_fallbacks(&self) -> &[usize] {
+        &self.per_worker_fallbacks
+    }
 }
 
 enum PhaseOutcome {
     Optimal,
     Unbounded,
+}
+
+/// Column-filter callback for the pricing scans. `Sync` so chunked
+/// parallel scans can share it across workers.
+pub(crate) type Allowed<'f> = &'f (dyn Fn(usize) -> bool + Sync);
+
+/// Below this many columns a full-scan chunk split costs more in task
+/// dispatch than it saves; the scans stay serial regardless of the
+/// `threads` option. (Exact rational reduced costs are ~µs each, task
+/// dispatch ~10 µs.)
+pub(crate) const PAR_MIN_COLS: usize = 256;
+
+/// Candidate-list re-pricing parallelizes above this list length (each
+/// entry is a full sparse exact dot product, so the threshold is lower
+/// than for the cheap-per-column full scans).
+pub(crate) const PAR_MIN_LIST: usize = 64;
+
+/// Reduced cost of column `j` under multipliers `y` — free function so
+/// parallel chunk closures can share it without borrowing a whole core.
+#[inline]
+pub(crate) fn reduced_cost_in(a_cols: &[SVec], cost: &[Q], y: &[Q], j: usize) -> Q {
+    let mut r = cost[j].clone();
+    for (i, v) in &a_cols[j] {
+        if !y[*i].is_zero() {
+            r -= v.clone() * y[*i].clone();
+        }
+    }
+    r
 }
 
 /// Mutable pricing state carried across the pivots of one solve.
@@ -333,6 +419,9 @@ struct Core<'a> {
     /// Scratch for FTRAN results.
     u: Vec<Q>,
     price: PriceState,
+    /// Resolved pricing-scan parallelism (≥ 1; from
+    /// [`RevisedOptions::threads`] via [`hpool::resolve_threads`]).
+    threads: usize,
 }
 
 impl<'a> Core<'a> {
@@ -362,13 +451,17 @@ impl<'a> Core<'a> {
 
     /// Reduced cost of column `j` under multipliers `y`.
     fn reduced_cost(&self, cost: &[Q], y: &[Q], j: usize) -> Q {
-        let mut r = cost[j].clone();
-        for (i, v) in &self.a_cols[j] {
-            if !y[*i].is_zero() {
-                r -= v.clone() * y[*i].clone();
-            }
+        reduced_cost_in(self.a_cols, cost, y, j)
+    }
+
+    /// Chunk count for a scan over `span` columns: the configured
+    /// parallelism, unless the span is too small to amortize dispatch.
+    fn scan_parts(&self, span: usize, min: usize) -> usize {
+        if self.threads > 1 && span >= min {
+            self.threads
+        } else {
+            1
         }
-        r
     }
 
     /// Entry `(B⁻¹ A_j)[slot]` given the unit BTRAN `rho` of `slot`.
@@ -469,7 +562,7 @@ impl<'a> Core<'a> {
     /// columns, selecting entering columns by the configured
     /// [`Pricing`] strategy; the ratio test (and hence the anti-cycling
     /// leave tie-break) is shared by all strategies.
-    fn run_phase(&mut self, cost: &[Q], allowed: &dyn Fn(usize) -> bool) -> PhaseOutcome {
+    fn run_phase(&mut self, cost: &[Q], allowed: Allowed) -> PhaseOutcome {
         loop {
             let y = self.btran_costs(cost);
             let Some(enter) = self.price_enter(cost, &y, allowed) else {
@@ -492,12 +585,7 @@ impl<'a> Core<'a> {
     /// Entering column under the configured strategy; `None` = no
     /// allowed nonbasic column has negative reduced cost (the phase is
     /// optimal).
-    fn price_enter(
-        &mut self,
-        cost: &[Q],
-        y: &[Q],
-        allowed: &dyn Fn(usize) -> bool,
-    ) -> Option<usize> {
+    fn price_enter(&mut self, cost: &[Q], y: &[Q], allowed: Allowed) -> Option<usize> {
         if self.price.pricing == Pricing::Bland || self.price.bland_mode {
             return self.bland_enter(cost, y, allowed);
         }
@@ -517,23 +605,51 @@ impl<'a> Core<'a> {
 
     /// Bland's rule: the smallest allowed nonbasic column with negative
     /// reduced cost — scan order and early exit verbatim the historical
-    /// loop, so the default pivot path is bit-identical.
-    fn bland_enter(
-        &mut self,
-        cost: &[Q],
-        y: &[Q],
-        allowed: &dyn Fn(usize) -> bool,
-    ) -> Option<usize> {
-        for j in 0..self.a_cols.len() {
-            if !allowed(j) || self.in_basis[j] {
-                continue;
+    /// loop, so the default pivot path is bit-identical. The parallel
+    /// variant splits the scan into contiguous chunks (each with its own
+    /// early exit) and takes the hit from the *earliest* chunk, which is
+    /// exactly the serial entering column; only `columns_priced` differs
+    /// (later chunks scan speculatively).
+    fn bland_enter(&mut self, cost: &[Q], y: &[Q], allowed: Allowed) -> Option<usize> {
+        let cols = self.a_cols.len();
+        let parts = self.scan_parts(cols, PAR_MIN_COLS);
+        if parts <= 1 {
+            for j in 0..cols {
+                if !allowed(j) || self.in_basis[j] {
+                    continue;
+                }
+                self.stats.columns_priced += 1;
+                if self.reduced_cost(cost, y, j).is_negative() {
+                    return Some(j);
+                }
             }
-            self.stats.columns_priced += 1;
-            if self.reduced_cost(cost, y, j).is_negative() {
-                return Some(j);
+            return None;
+        }
+        let chunk = cols.div_ceil(parts);
+        let (a_cols, in_basis) = (self.a_cols, &self.in_basis);
+        let results = hpool::ThreadPool::global().run_parts(parts, |p| {
+            let lo = p * chunk;
+            let hi = cols.min(lo + chunk);
+            let mut priced = 0usize;
+            for j in lo..hi {
+                if !allowed(j) || in_basis[j] {
+                    continue;
+                }
+                priced += 1;
+                if reduced_cost_in(a_cols, cost, y, j).is_negative() {
+                    return (priced, Some(j));
+                }
+            }
+            (priced, None)
+        });
+        let mut enter = None;
+        for (priced, hit) in results {
+            self.stats.columns_priced += priced;
+            if enter.is_none() {
+                enter = hit;
             }
         }
-        None
+        enter
     }
 
     /// Re-price `list` under the current multipliers, dropping entries
@@ -546,18 +662,49 @@ impl<'a> Core<'a> {
         list: &mut Vec<usize>,
         cost: &[Q],
         y: &[Q],
-        allowed: &dyn Fn(usize) -> bool,
+        allowed: Allowed,
     ) -> Option<usize> {
         let devex = self.price.pricing == Pricing::Devex;
+        // Pre-price a long list in parallel chunks. Entries are then
+        // consumed in list order, so selection, tie-breaks, and the
+        // compaction are identical to the serial path — and both paths
+        // price exactly the non-skipped entries, so `columns_priced`
+        // matches the serial count too.
+        let parts = self.scan_parts(list.len(), PAR_MIN_LIST);
+        let mut pre: Option<Vec<Option<Q>>> = if parts > 1 {
+            let chunk = list.len().div_ceil(parts);
+            let (a_cols, in_basis, items) = (self.a_cols, &self.in_basis, &*list);
+            let chunks = hpool::ThreadPool::global().run_parts(parts, |p| {
+                let lo = p * chunk;
+                let hi = items.len().min(lo + chunk);
+                items[lo..hi]
+                    .iter()
+                    .map(|&j| {
+                        (allowed(j) && !in_basis[j]).then(|| reduced_cost_in(a_cols, cost, y, j))
+                    })
+                    .collect::<Vec<_>>()
+            });
+            Some(chunks.into_iter().flatten().collect())
+        } else {
+            None
+        };
         let mut best: Option<(usize, Q, f64)> = None;
         let mut kept = 0;
         for idx in 0..list.len() {
             let j = list[idx];
-            if !allowed(j) || self.in_basis[j] {
-                continue;
-            }
+            let rc = match &mut pre {
+                Some(v) => match v[idx].take() {
+                    None => continue,
+                    Some(rc) => rc,
+                },
+                None => {
+                    if !allowed(j) || self.in_basis[j] {
+                        continue;
+                    }
+                    self.reduced_cost(cost, y, j)
+                }
+            };
             self.stats.columns_priced += 1;
-            let rc = self.reduced_cost(cost, y, j);
             if !rc.is_negative() {
                 continue;
             }
@@ -597,19 +744,58 @@ impl<'a> Core<'a> {
     /// around the ring, collecting up to the list cap of
     /// negative-reduced-cost columns. A full wrap collecting nothing
     /// leaves the list empty, which the caller reads as phase-optimal.
-    fn refill_candidates(
-        &mut self,
-        list: &mut Vec<usize>,
-        cost: &[Q],
-        y: &[Q],
-        allowed: &dyn Fn(usize) -> bool,
-    ) {
+    fn refill_candidates(&mut self, list: &mut Vec<usize>, cost: &[Q], y: &[Q], allowed: Allowed) {
         let cols = self.a_cols.len();
         if cols == 0 {
             return;
         }
         let cap = PriceState::list_cap(cols);
         let start = self.price.cursor % cols;
+        let parts = self.scan_parts(cols, PAR_MIN_COLS);
+        if parts > 1 {
+            // Split the ring walk into contiguous step ranges; merging the
+            // per-chunk hits in chunk order reproduces the serial ring order
+            // exactly, so the refilled list — and hence every subsequent
+            // candidate selection — is identical at any thread count. Each
+            // chunk stops after `cap` hits (no prefix ever needs more).
+            let chunk = cols.div_ceil(parts);
+            let (a_cols, in_basis) = (self.a_cols, &self.in_basis);
+            let found = hpool::ThreadPool::global().run_parts(parts, |p| {
+                let lo = p * chunk;
+                let hi = cols.min(lo + chunk);
+                let mut hits = Vec::new();
+                let mut priced = 0usize;
+                for step in lo..hi {
+                    let j = (start + step) % cols;
+                    if !allowed(j) || in_basis[j] {
+                        continue;
+                    }
+                    priced += 1;
+                    if reduced_cost_in(a_cols, cost, y, j).is_negative() {
+                        hits.push(j);
+                        if hits.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+                (priced, hits)
+            });
+            for (priced, hits) in found {
+                self.stats.columns_priced += priced;
+                for j in hits {
+                    if list.len() >= cap {
+                        break;
+                    }
+                    list.push(j);
+                    if list.len() >= cap {
+                        self.price.cursor = (j + 1) % cols;
+                        return;
+                    }
+                }
+            }
+            self.price.cursor = start;
+            return;
+        }
         for step in 0..cols {
             let j = (start + step) % cols;
             if !allowed(j) || self.in_basis[j] {
@@ -746,7 +932,9 @@ impl LinearProgram {
             stats: RevisedStats::default(),
             u: Vec::new(),
             price: PriceState::new(opts.pricing, cols),
+            threads: hpool::resolve_threads(opts.threads),
         };
+        core.stats.threads = core.threads;
         let mut dead = vec![false; m];
 
         // --- Phase 1: minimize the sum of artificials. -------------------
@@ -932,6 +1120,7 @@ impl LinearProgram {
                         return self
                             .solve_revised_with(&RevisedOptions {
                                 pricing: c.pricing,
+                                threads: c.threads,
                                 ..RevisedOptions::default()
                             })
                             .0;
@@ -985,6 +1174,7 @@ impl LinearProgram {
         }
 
         let pricing = cache.as_deref().map(|c| c.pricing).unwrap_or_default();
+        let threads = hpool::resolve_threads(cache.as_deref().map(|c| c.threads).unwrap_or(0));
         let mut core = Core {
             m,
             a_cols: &a_cols,
@@ -992,11 +1182,13 @@ impl LinearProgram {
             in_basis,
             xb,
             factor,
-            opts: RevisedOptions { pricing, ..RevisedOptions::default() },
+            opts: RevisedOptions { pricing, threads, ..RevisedOptions::default() },
             stats: RevisedStats::default(),
             u: Vec::new(),
             price: PriceState::new(pricing, cols),
+            threads,
         };
+        core.stats.threads = threads;
 
         // --- Dual-simplex repair of b ≥ 0 (zero objective: any basis is
         // dual-feasible; Bland selections are the classic anti-cycling
@@ -1027,8 +1219,11 @@ impl LinearProgram {
                     c.warm_fallbacks += 1;
                     c.absorb_pricing(&core.stats);
                 }
-                let (sol, cold_stats) = self
-                    .solve_revised_with(&RevisedOptions { pricing, ..RevisedOptions::default() });
+                let (sol, cold_stats) = self.solve_revised_with(&RevisedOptions {
+                    pricing,
+                    threads,
+                    ..RevisedOptions::default()
+                });
                 if let Some(c) = cache.as_deref_mut() {
                     c.absorb_pricing(&cold_stats);
                 }

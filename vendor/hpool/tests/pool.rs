@@ -1,0 +1,167 @@
+//! Property tests for the work-stealing pool shim: completion, actual
+//! work distribution (steals under load), panic propagation, and
+//! deadlock-freedom of nested scopes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use hpool::ThreadPool;
+
+/// Every spawned task completes exactly once, across repeated scopes.
+#[test]
+fn all_tasks_complete() {
+    let pool = ThreadPool::new(4);
+    let count = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..500 {
+            let count = &count;
+            s.spawn(move || {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 500);
+
+    // A second scope on the same pool works too (workers returned to idle).
+    let again = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..100 {
+            let again = &again;
+            s.spawn(move || {
+                again.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(again.load(Ordering::Relaxed), 100);
+}
+
+/// Work actually moves between workers: a root task spawns a burst of
+/// slow tasks into its *own* deque, so every other worker that picks
+/// them up must steal. Sleeping tasks keep the deque non-empty long
+/// enough that this holds even on a single hardware thread.
+#[test]
+fn steal_counter_positive_under_load() {
+    let pool = ThreadPool::new(4);
+    let done = AtomicUsize::new(0);
+    pool.scope(|s| {
+        let (pool, done) = (&pool, &done);
+        s.spawn(move || {
+            // Runs on a worker, so the nested tasks land on its deque.
+            pool.scope(|inner| {
+                for _ in 0..100 {
+                    let done = &*done;
+                    inner.spawn(move || {
+                        std::thread::sleep(Duration::from_millis(1));
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+    });
+    assert_eq!(done.load(Ordering::Relaxed), 100);
+    assert!(pool.steals() > 0, "4 workers, 100 slow tasks on one deque: somebody must steal");
+}
+
+/// A panicking task propagates its payload to the joiner, and the pool
+/// stays usable afterwards.
+#[test]
+fn panic_propagates_to_joiner() {
+    let pool = ThreadPool::new(2);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|| panic!("boom in task"));
+            s.spawn(|| {}); // healthy sibling still completes
+        });
+    }));
+    let payload = result.expect_err("task panic must surface at the joiner");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(|s| s.as_str()))
+        .unwrap_or("");
+    assert!(msg.contains("boom in task"), "payload preserved, got: {msg}");
+
+    // The pool survives a panicked scope.
+    let ok = AtomicUsize::new(0);
+    pool.scope(|s| {
+        let ok = &ok;
+        s.spawn(move || {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(ok.load(Ordering::Relaxed), 1);
+
+    // run_parts propagates too.
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run_parts(4, |i| {
+            if i == 2 {
+                panic!("part 2 failed");
+            }
+            i
+        })
+    }));
+    assert!(r.is_err(), "run_parts must re-raise a part's panic");
+}
+
+/// Nested scopes do not deadlock, even when every worker is blocked in a
+/// nested join at once: joining workers help execute queued tasks.
+#[test]
+fn nested_spawn_does_not_deadlock() {
+    let pool = ThreadPool::new(2);
+    let inner_runs = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..4 {
+            let (pool, inner_runs) = (&pool, &inner_runs);
+            s.spawn(move || {
+                // Both workers enter here concurrently; the nested joins
+                // must make progress by helping.
+                pool.scope(|inner| {
+                    for _ in 0..4 {
+                        let inner_runs = &*inner_runs;
+                        inner.spawn(move || {
+                            inner_runs.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+        }
+    });
+    assert_eq!(inner_runs.load(Ordering::Relaxed), 16);
+
+    // Single-worker pool: the worker itself joins a nested scope whose
+    // tasks sit on its own deque — it must drain them, not park.
+    let solo = ThreadPool::new(1);
+    let ran = AtomicUsize::new(0);
+    solo.scope(|s| {
+        let (solo, ran) = (&solo, &ran);
+        s.spawn(move || {
+            let parts = solo.run_parts(8, |i| i + 1);
+            ran.fetch_add(parts.iter().sum::<usize>(), Ordering::Relaxed);
+        });
+    });
+    assert_eq!(ran.load(Ordering::Relaxed), 36);
+}
+
+/// The env knob: `HSCHED_THREADS` overrides both defaults; absent or
+/// invalid values fall back. (Env mutation is confined to this one test;
+/// the pool tests above never read the environment.)
+#[test]
+fn hsched_threads_env_override() {
+    std::env::remove_var(hpool::THREADS_ENV);
+    assert_eq!(hpool::env_threads(), None);
+    assert_eq!(hpool::default_threads(), 1, "serial unless opted in");
+    assert!(hpool::max_threads() >= 1);
+
+    std::env::set_var(hpool::THREADS_ENV, "4");
+    assert_eq!(hpool::env_threads(), Some(4));
+    assert_eq!(hpool::default_threads(), 4);
+    assert_eq!(hpool::max_threads(), 4);
+    assert_eq!(hpool::resolve_threads(0), 4);
+    assert_eq!(hpool::resolve_threads(2), 2, "explicit counts beat the env");
+
+    std::env::set_var(hpool::THREADS_ENV, "0");
+    assert_eq!(hpool::env_threads(), None, "zero is invalid");
+    std::env::set_var(hpool::THREADS_ENV, "banana");
+    assert_eq!(hpool::env_threads(), None, "garbage is invalid");
+    std::env::remove_var(hpool::THREADS_ENV);
+}
