@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E14).
+//! The experiment harness: regenerates every evaluation table (E1–E15).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -99,8 +99,11 @@ fn main() {
     if want("e14") {
         reports.push(ex::e14());
     }
+    if want("e15") {
+        reports.push(ex::e15());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e14 or all");
+        eprintln!("unknown experiment id; use e1..e15 or all");
         std::process::exit(2);
     }
 

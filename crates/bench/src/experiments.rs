@@ -1025,6 +1025,143 @@ pub fn e14_with(budget: Duration) -> Report {
     r
 }
 
+/// Default wall-clock budget for a full E15 run.
+pub const E15_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// Machines in the E15 service topology (`semi_partitioned`).
+pub const E15_M: usize = 5;
+
+/// Events per E15 service run.
+pub const E15_EVENTS: usize = 120;
+
+/// Traffic mixes swept by E15 as `(arrive%, depart%, fail%)`; the
+/// remainder of each row recovers failed subtrees.
+pub const E15_MIXES: [(u32, u32, u32); 3] = [(60, 25, 5), (45, 25, 20), (35, 20, 30)];
+
+/// Solver-fault injection rates swept by E15 (percent per event).
+pub const E15_FAULT_RATES: [u32; 2] = [0, 25];
+
+/// E15 — online service under fire: an arrival-rate × failure-rate ×
+/// fault-rate sweep of seeded event streams through the full scheduler
+/// service. Every run must complete with zero invariant violations
+/// (each epoch validates, replays on the simulator, and stays within
+/// the paper's per-event disruption bounds); every injected solver
+/// fault must surface as a counted fallback. The fault-heavy mix is
+/// additionally asserted to carry ≥ 100 events with ≥ 3 machine
+/// failures — the ISSUE acceptance run.
+pub fn e15() -> Report {
+    e15_with(E15_DEFAULT_BUDGET)
+}
+
+/// [`e15`] under an explicit wall-clock budget: remaining sweep rows
+/// are skipped — recording how much was covered — once the budget is
+/// spent.
+pub fn e15_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t = Table::new(&[
+        "mix a/d/f%",
+        "faults%",
+        "fail ev",
+        "injected",
+        "tiers 1/2/3",
+        "fallbacks",
+        "reassign",
+        "max move",
+        "max disrupt",
+        "quarantine",
+        "ev/s",
+    ]);
+    let family = topology::semi_partitioned(E15_M);
+    let mut truncated = false;
+    let mut row_id = 0u64;
+    'sweep: for (arrive, depart, fail) in E15_MIXES {
+        for rate in E15_FAULT_RATES {
+            if start.elapsed() > budget {
+                truncated = true;
+                break 'sweep;
+            }
+            let cfg = service::StreamConfig {
+                events: E15_EVENTS,
+                arrive_pct: arrive,
+                depart_pct: depart,
+                fail_pct: fail,
+                ..service::StreamConfig::default()
+            };
+            let events = service::event_stream(&family, &cfg, &mut rng(1500 + row_id));
+            let plan = service::FaultPlan::seeded(E15_EVENTS, rate, &mut rng(1600 + row_id));
+            let t0 = Instant::now();
+            let report =
+                service::run(service::ServiceConfig::semi_partitioned(E15_M), &events, &plan)
+                    .unwrap_or_else(|e| panic!("invariant violation in E15 row {row_id}: {e}"));
+            let elapsed = t0.elapsed();
+            if (arrive, depart, fail) == (45, 25, 20) {
+                // The acceptance criterion: a fault-heavy run with
+                // enough events and real machine failures, absorbed
+                // without a single invariant violation.
+                assert!(report.events >= 100, "acceptance rows carry ≥ 100 events");
+                assert!(report.failures >= 3, "acceptance rows carry ≥ 3 machine failures");
+            }
+            assert_eq!(
+                report.hint_poisons + report.cert_faults + report.deadline_faults,
+                report.faults_injected,
+                "every injected fault is visible in a counter"
+            );
+            assert!(
+                report.epochs_tier3 >= report.deadline_faults,
+                "every deadline overrun degraded gracefully"
+            );
+            t.row(vec![
+                format!("{arrive}/{depart}/{fail}"),
+                rate.to_string(),
+                report.failures.to_string(),
+                report.faults_injected.to_string(),
+                format!("{}/{}/{}", report.epochs_tier1, report.epochs_tier2, report.epochs_tier3),
+                format!(
+                    "{}w {}h {}b",
+                    report.warm_fallbacks, report.hybrid_fallbacks, report.budget_exhaustions
+                ),
+                report.reassignments.to_string(),
+                report.max_arrival_moves.max(report.max_departure_moves).to_string(),
+                report.max_disruption_total.to_string(),
+                format!("{}·peak{}", report.quarantine_entries, report.quarantine_peak),
+                format!("{:.0}", report.events as f64 / elapsed.as_secs_f64().max(1e-9)),
+            ]);
+            row_id += 1;
+        }
+    }
+
+    let mut r = Report::new(
+        "e15",
+        "Online service under fire: arrival/failure/fault-rate sweep with \
+         enforced per-event invariants and graceful degradation",
+        t,
+    )
+    .seeds(format!(
+        "streams over semi_partitioned({E15_M}), {E15_EVENTS} events, stream seed = 1500 + row, \
+         fault-plan seed = 1600 + row, rows in mix-major order over {E15_MIXES:?} × fault rates \
+         {E15_FAULT_RATES:?}"
+    ))
+    .note(
+        "every row replays an online event stream through the service: each epoch re-solves \
+         under a pivot budget (warm hybrid → cold exact → LP-free greedy ladder), is validated, \
+         simulated, and checked against the ≤ m−1 / ≤ 2m−2 per-event disruption bounds — a \
+         violation aborts the harness. fallbacks column: warm-hint (w), hybrid-certification \
+         (h), budget/deadline (b). max move is the largest per-event reassignment count",
+    )
+    .note(
+        "injected faults (poisoned warm hints, forced certification failures, deadline \
+         overruns) change counters only — certified horizons are tier-invariant, asserted in \
+         crates/service/tests/online.rs",
+    );
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,6 +1281,40 @@ mod tests {
         let s = e14_with(Duration::from_secs(300)).render_text();
         assert!(s.contains("steals"));
         assert!(s.contains("1.00×"));
+    }
+
+    /// E15 must stay inside the regime that keeps `harness all`
+    /// terminating in about a minute, and its wall-clock budget must
+    /// actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e15_configuration_stays_under_budget() {
+        assert!(E15_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E15_M <= 8 && E15_EVENTS <= 256, "service runs must stay seconds-scale");
+        assert!(
+            E15_MIXES.iter().all(|&(a, d, f)| a + d + f <= 100),
+            "event percentages must partition 0..100"
+        );
+        assert!(
+            E15_MIXES.iter().any(|&(_, _, f)| f >= 20),
+            "the fault-heavy mix is the acceptance row"
+        );
+        assert!(E15_FAULT_RATES[0] == 0, "the fault-free pass is the degradation reference");
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e15_with(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// One real E15 sweep row end to end: the fault-free low-failure mix
+    /// completes with zero invariant violations (enforced inside
+    /// `e15_with`, which aborts on any violation).
+    #[test]
+    fn e15_smoke() {
+        let s = e15_with(Duration::from_secs(300)).render_text();
+        assert!(s.contains("tiers 1/2/3"));
+        assert!(s.contains("60/25/5"));
     }
 
     #[test]

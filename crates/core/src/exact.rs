@@ -102,6 +102,9 @@ fn probe(
             assignment_from_solution(instance, &vm, &milp.values)
                 .expect("first_feasible solutions are integral"),
         )),
+        // `MilpStatus` is non-exhaustive; the B&B solver only ever
+        // returns the three statuses above.
+        _ => unreachable!("solve_binary returns Optimal/Infeasible/NodeLimit"),
     }
 }
 

@@ -25,11 +25,16 @@ use crate::schedule::Schedule;
 use crate::stream::{coalesce, JobStream};
 
 /// Failure modes of Algorithms 2+3.
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum HierError {
     /// The `(assignment, T)` pair violates (IP-2); the wrapped violation
     /// says which constraint.
     Infeasible(AssignmentViolation),
+    /// A wrap-around placement rejected its inputs (would contradict
+    /// Lemma IV.1/IV.2); never expected on feasible input. The typed
+    /// cause names the violated placement invariant.
+    Placement(crate::stream::PlaceError),
     /// Internal invariant broken (would contradict Lemma IV.1/IV.2);
     /// never expected on feasible input.
     InvariantBroken(&'static str),
@@ -39,6 +44,7 @@ impl fmt::Display for HierError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HierError::Infeasible(v) => write!(f, "assignment infeasible at T: {v}"),
+            HierError::Placement(e) => write!(f, "scheduler placement rejected: {e}"),
             HierError::InvariantBroken(s) => write!(f, "scheduler invariant broken: {s}"),
         }
     }
@@ -220,9 +226,7 @@ pub fn schedule_hierarchical(
             let k = members[pos];
             let d = loads.load[base + pos].clone();
             if d.is_positive() {
-                stream
-                    .place(k, &t_beta, &d, t, &mut segments)
-                    .map_err(|e| HierError::InvariantBroken(e.as_str()))?;
+                stream.place(k, &t_beta, &d, t, &mut segments).map_err(HierError::Placement)?;
                 t_beta = (t_beta + d).rem_euclid(t);
             }
             t_at[base + pos] = t_beta.clone();

@@ -241,6 +241,96 @@ impl Instance {
     pub fn set(&self, a: usize) -> &MachineSet {
         self.family.set(a)
     }
+
+    /// Restrict the instance to the machines in `healthy` (same
+    /// universe): every admissible set is intersected with `healthy`,
+    /// empty intersections drop out, and equal intersections collapse to
+    /// one set whose processing times are the per-job minimum over the
+    /// collapsing sets. Machine indices are unchanged — machines outside
+    /// `healthy` are simply not covered by any surviving set, which
+    /// [`LaminarFamily`] permits. Jobs left without a finite processing
+    /// time on any surviving set are dropped and reported as orphans.
+    /// Returns `None` when no set survives at all.
+    ///
+    /// Correctness of the collapse: original sets with the same healthy
+    /// intersection `S` form a chain in the laminar order, and for
+    /// distinct intersections `S₁ ⊂ S₂` every original set mapping to
+    /// `S₁` is contained in every original set mapping to `S₂` (laminar
+    /// sets meeting in `S₁ ⊆ S₂` are nested, and containment the other
+    /// way would force `S₁ = S₂`). Original monotonicity therefore
+    /// carries over to the per-class minima, so the restricted instance
+    /// always validates.
+    pub fn restrict_to(&self, healthy: &MachineSet) -> Option<RestrictedInstance> {
+        let n_sets = self.family.len();
+        let mut set_map: Vec<Option<usize>> = vec![None; n_sets];
+        let mut origin: Vec<usize> = Vec::new();
+        let mut rsets: Vec<MachineSet> = Vec::new();
+        for a in 0..n_sets {
+            let r = self.family.set(a).intersection(healthy);
+            if r.is_empty() {
+                continue;
+            }
+            match rsets.iter().position(|s| *s == r) {
+                Some(k) => set_map[a] = Some(k),
+                None => {
+                    set_map[a] = Some(rsets.len());
+                    origin.push(a);
+                    rsets.push(r);
+                }
+            }
+        }
+        if rsets.is_empty() {
+            return None;
+        }
+        let n_restricted = rsets.len();
+        let mut job_map = vec![None; self.num_jobs()];
+        let mut orphans = Vec::new();
+        let mut ptimes: Vec<Vec<Option<u64>>> = Vec::new();
+        for (j, row) in self.ptimes.iter().enumerate() {
+            let mut rrow: Vec<Option<u64>> = vec![None; n_restricted];
+            for (a, p) in row.iter().enumerate() {
+                if let (Some(k), Some(p)) = (set_map[a], *p) {
+                    rrow[k] = Some(rrow[k].map_or(p, |prev: u64| prev.min(p)));
+                }
+            }
+            if rrow.iter().any(|p| p.is_some()) {
+                job_map[j] = Some(ptimes.len());
+                ptimes.push(rrow);
+            } else {
+                orphans.push(j);
+            }
+        }
+        let family = LaminarFamily::new(self.num_machines(), rsets)
+            .expect("healthy intersections of a laminar family stay laminar");
+        let instance = Instance::new(family, ptimes)
+            .expect("restriction preserves monotonicity and schedulability");
+        Some(RestrictedInstance { instance, set_map, origin, job_map, orphans })
+    }
+}
+
+/// An [`Instance`] restricted to a healthy machine subset
+/// ([`Instance::restrict_to`]): the surviving sets/jobs plus the maps
+/// back to the original indices the caller's bookkeeping is phrased in.
+#[derive(Clone, Debug)]
+pub struct RestrictedInstance {
+    /// The restricted instance: original machine indices, admissible
+    /// sets intersected with the healthy mask (deduplicated), and only
+    /// the jobs with at least one finite restricted processing time.
+    pub instance: Instance,
+    /// `set_map[original_set] = Some(restricted_set)` when the original
+    /// set's healthy intersection is nonempty (several original sets may
+    /// collapse onto one restricted set); `None` when the whole set
+    /// failed.
+    pub set_map: Vec<Option<usize>>,
+    /// `origin[restricted_set]`: the smallest original set index with
+    /// that healthy intersection.
+    pub origin: Vec<usize>,
+    /// `job_map[original_job] = Some(restricted_job)` for surviving jobs.
+    pub job_map: Vec<Option<usize>>,
+    /// Original job indices with no finite processing time on any
+    /// surviving set — the capacity-quarantine candidates after a
+    /// machine failure.
+    pub orphans: Vec<usize>,
 }
 
 #[cfg(test)]
@@ -344,5 +434,58 @@ mod tests {
         let fam = topology::partitioned(3);
         let inst = Instance::from_fn(fam, 2, |j, a| Some((j + a + 1) as u64)).unwrap();
         assert_eq!(inst.ptime(1, 2), Some(4));
+    }
+
+    #[test]
+    fn restrict_to_drops_merges_and_orphans() {
+        // semi_partitioned(3): 0 = {0,1,2}, 1 = {0}, 2 = {1}, 3 = {2}.
+        let fam = topology::semi_partitioned(3);
+        let inst = Instance::new(
+            fam,
+            vec![
+                vec![Some(6), Some(2), Some(3), Some(4)], // anywhere
+                vec![None, None, Some(1), None],          // pinned to machine 1
+            ],
+        )
+        .unwrap();
+
+        // Machine 1 fails: {1} dies, the pinned job orphans.
+        let healthy = MachineSet::from_iter(3, [0, 2]);
+        let r = inst.restrict_to(&healthy).unwrap();
+        assert_eq!(r.instance.family().len(), 3);
+        assert_eq!(r.set_map, vec![Some(0), Some(1), None, Some(2)]);
+        assert_eq!(r.origin, vec![0, 1, 3]);
+        assert_eq!(r.orphans, vec![1]);
+        assert_eq!(r.job_map, vec![Some(0), None]);
+        assert_eq!(r.instance.num_jobs(), 1);
+        assert_eq!(r.instance.ptime(0, 0), Some(6));
+        assert_eq!(r.instance.num_machines(), 3, "machine indices are unchanged");
+
+        // Only machine 0 healthy: root ∩ H = {0} collapses onto the
+        // singleton; the merged set keeps the cheaper processing time.
+        let healthy = MachineSet::from_iter(3, [0]);
+        let r = inst.restrict_to(&healthy).unwrap();
+        assert_eq!(r.instance.family().len(), 1);
+        assert_eq!(r.set_map, vec![Some(0), Some(0), None, None]);
+        assert_eq!(r.origin, vec![0]);
+        assert_eq!(r.instance.ptime(0, 0), Some(2), "collapse keeps the min");
+
+        // Nothing healthy: no restriction exists.
+        assert!(inst.restrict_to(&MachineSet::empty(3)).is_none());
+    }
+
+    #[test]
+    fn restrict_to_full_mask_is_identity() {
+        let inst = example_ii_1();
+        let r = inst.restrict_to(&MachineSet::full(2)).unwrap();
+        assert_eq!(r.instance.family().len(), inst.family().len());
+        assert_eq!(r.set_map, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(r.job_map, vec![Some(0), Some(1), Some(2)]);
+        assert!(r.orphans.is_empty());
+        for j in 0..inst.num_jobs() {
+            for a in 0..inst.family().len() {
+                assert_eq!(r.instance.ptime(j, a), inst.ptime(j, a));
+            }
+        }
     }
 }

@@ -40,5 +40,6 @@ pub mod semi;
 mod stream;
 
 pub use assignment::Assignment;
-pub use instance::{Instance, InstanceError};
+pub use instance::{Instance, InstanceError, RestrictedInstance};
 pub use schedule::{Schedule, ScheduleError, Segment};
+pub use stream::PlaceError;

@@ -8,12 +8,17 @@ use numeric::Q;
 
 use crate::schedule::Segment;
 
-/// Why a [`JobStream::place`] call was rejected. Each variant corresponds
+/// Why a wrap-around placement was rejected. Each variant corresponds
 /// to an invariant that, if violated, would silently corrupt the schedule
 /// (overlapping or missing segments) and only surface much later in
 /// `Schedule::validate` — so `place` checks them in release builds too.
+///
+/// Public so layered diagnostics (e.g. [`crate::hier::HierError`] and the
+/// service crate's invariant reports) can name the violated invariant
+/// instead of folding it into a string.
+#[non_exhaustive]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum PlaceError {
+pub enum PlaceError {
     /// `start` lies outside `[0, T)`.
     StartOutOfRange,
     /// `amount > T`: the wrap-around interval would overlap itself.
@@ -25,7 +30,7 @@ pub(crate) enum PlaceError {
 impl PlaceError {
     /// Human-readable invariant description (used by callers that fold
     /// the error into their own diagnostics).
-    pub(crate) fn as_str(self) -> &'static str {
+    pub fn as_str(self) -> &'static str {
         match self {
             PlaceError::StartOutOfRange => "placement start must lie in [0, T)",
             PlaceError::AmountExceedsPeriod => "cannot place more than T units on one machine",
@@ -41,6 +46,8 @@ impl std::fmt::Display for PlaceError {
         f.write_str(self.as_str())
     }
 }
+
+impl std::error::Error for PlaceError {}
 
 /// A queue of `(job, remaining units)` pieces consumed in order.
 #[derive(Clone, Debug)]
@@ -211,6 +218,14 @@ mod tests {
         let mut st = JobStream::new([(0, q(2))]);
         let mut out = Vec::new();
         assert_eq!(st.place(0, &q(0), &q(3), &q(10), &mut out), Err(PlaceError::StreamExhausted));
+    }
+
+    /// `PlaceError` is part of the public error story: a typed
+    /// `std::error::Error` whose message names the violated invariant.
+    #[test]
+    fn place_error_is_a_public_typed_error() {
+        let e: Box<dyn std::error::Error> = Box::new(PlaceError::StreamExhausted);
+        assert_eq!(e.to_string(), PlaceError::StreamExhausted.as_str());
     }
 
     #[test]

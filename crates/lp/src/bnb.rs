@@ -64,6 +64,7 @@ impl Default for BnbOptions {
 }
 
 /// Outcome of a branch-and-bound run.
+#[non_exhaustive]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MilpStatus {
     /// Proven optimal (or, with `first_feasible`, proven feasible).

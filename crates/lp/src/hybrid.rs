@@ -37,7 +37,8 @@ use numeric::Q;
 use crate::factor::{Factorization, SVec};
 use crate::problem::{LinearProgram, Relation};
 use crate::revised::{
-    Allowed, PriceState, Pricing, ReuseState, RevisedOptions, RevisedStats, WarmCache, VIRTUAL,
+    Allowed, BudgetError, PriceState, Pricing, ReuseState, RevisedOptions, RevisedStats, WarmCache,
+    VIRTUAL,
 };
 use crate::simplex::{LpSolution, LpStatus};
 
@@ -1659,15 +1660,39 @@ impl LinearProgram {
     /// otherwise the cached factorization is still offered to the
     /// certifier wholesale. The exact fallback shares the same cache,
     /// so its own reuse and cap-fallback counters keep working.
+    ///
+    /// `limit` is an exact-pivot budget for the fallback paths (see
+    /// [`SolveBudget`](crate::SolveBudget)): `None` never errors, `Some`
+    /// may abort with [`BudgetError::PivotCapExhausted`]. The float
+    /// proposer and the cold dispatch stay uncapped either way.
     pub(crate) fn solve_hybrid_warm(
         &self,
         hint: &[usize],
         mut cache: Option<&mut WarmCache>,
-    ) -> (LpSolution, RevisedStats) {
+        limit: Option<usize>,
+    ) -> Result<(LpSolution, RevisedStats), BudgetError> {
         let threads = hpool::resolve_threads(cache.as_deref().map_or(0, |c| c.threads()));
         let asm = assemble_hybrid(self, threads);
         let mut stats = RevisedStats { threads, ..RevisedStats::default() };
         let pricing = cache.as_deref().map(|c| c.pricing()).unwrap_or_default();
+
+        // Injected fault: behave exactly as if certification failed —
+        // skip the float proposal entirely and take the exact fallback.
+        // The fallback is counted on the *cache* (not `stats`) so it
+        // stays recorded even when a budget aborts the exact attempt;
+        // forced faults only exist on caches, so nothing is lost for the
+        // cacheless callers.
+        let forced = cache.as_deref_mut().is_some_and(|c| c.take_forced_cert_failure());
+        if forced {
+            if let Some(c) = cache.as_deref_mut() {
+                c.hybrid_fallbacks += 1;
+            }
+            let sol = match limit {
+                None => self.solve_warm_revised_capped(hint, cache, None),
+                Some(l) => self.solve_warm_revised_budgeted(hint, cache, l)?,
+            };
+            return Ok((sol, stats));
+        }
 
         // Hint-first certification: no pivots of any kind when the
         // previously certified basis is still optimal here.
@@ -1681,7 +1706,7 @@ impl LinearProgram {
                         c.reuse = Some(r);
                         c.factor_reuses += 1;
                         stats.hybrid_certified = 1;
-                        return (sol, stats);
+                        return Ok((sol, stats));
                     }
                 }
                 c.reuse = Some(r);
@@ -1693,7 +1718,7 @@ impl LinearProgram {
         // basis (mirrors `solve_warm_cached`, which cold-solves when the
         // cache is cold).
         if hint.is_empty() {
-            return self.solve_hybrid_cold(cache, pricing);
+            return Ok(self.solve_hybrid_cold(cache, pricing));
         }
 
         // A stale hint (out-of-range columns or duplicate slots — a
@@ -1710,7 +1735,7 @@ impl LinearProgram {
                 if let Some(c) = cache.as_deref_mut() {
                     c.warm_fallbacks += 1;
                 }
-                return self.solve_hybrid_cold(cache, pricing);
+                return Ok(self.solve_hybrid_cold(cache, pricing));
             }
         }
 
@@ -1732,12 +1757,15 @@ impl LinearProgram {
                     }
                 }
                 stats.hybrid_certified = 1;
-                (sol, stats)
+                Ok((sol, stats))
             }
             None => {
                 stats.hybrid_fallbacks = 1;
-                let sol = self.solve_warm_revised_capped(hint, cache, None);
-                (sol, stats)
+                let sol = match limit {
+                    None => self.solve_warm_revised_capped(hint, cache, None),
+                    Some(l) => self.solve_warm_revised_budgeted(hint, cache, l)?,
+                };
+                Ok((sol, stats))
             }
         }
     }
@@ -1747,7 +1775,9 @@ impl LinearProgram {
     /// certification/fallback counters.
     pub(crate) fn solve_hybrid_cached(&self, cache: &mut WarmCache) -> LpSolution {
         let hint = std::mem::take(&mut cache.hint);
-        let (sol, stats) = self.solve_hybrid_warm(&hint, Some(cache));
+        let (sol, stats) = self.solve_hybrid_warm(&hint, Some(cache), None).unwrap_or_else(|_| {
+            unreachable!("uncapped hybrid warm solve has no budget to exhaust")
+        });
         cache.hybrid_certified += stats.hybrid_certified;
         cache.hybrid_fallbacks += stats.hybrid_fallbacks;
         // The exact warm fallback feeds its own pricing counters into
@@ -1760,6 +1790,36 @@ impl LinearProgram {
             cache.hint = hint;
         }
         sol
+    }
+
+    /// [`Self::solve_hybrid_cached`] under an exact-pivot budget: the
+    /// float proposer runs normally, but any exact fallback it needs
+    /// (certification failure, injected fault) is budgeted — on
+    /// [`BudgetError`] the cache keeps its previous hint so the caller
+    /// can retry through a cheaper rung of its ladder.
+    pub(crate) fn solve_hybrid_budgeted_cached(
+        &self,
+        cache: &mut WarmCache,
+        limit: usize,
+    ) -> Result<LpSolution, BudgetError> {
+        let hint = std::mem::take(&mut cache.hint);
+        match self.solve_hybrid_warm(&hint, Some(cache), Some(limit)) {
+            Ok((sol, stats)) => {
+                cache.hybrid_certified += stats.hybrid_certified;
+                cache.hybrid_fallbacks += stats.hybrid_fallbacks;
+                cache.absorb_pricing(&stats);
+                if sol.status == LpStatus::Optimal && !sol.basis.is_empty() {
+                    cache.hint = sol.basis.clone();
+                } else {
+                    cache.hint = hint;
+                }
+                Ok(sol)
+            }
+            Err(e) => {
+                cache.hint = hint;
+                Err(e)
+            }
+        }
     }
 }
 
@@ -1960,5 +2020,66 @@ mod tests {
             assert_eq!(warm.objective_value, reference.objective_value, "hint {hint:?}");
             assert!(lp.is_feasible_point(&warm.values), "hint {hint:?}");
         }
+    }
+
+    /// The fault-injection hooks: an injected certification failure
+    /// takes the counted exact fallback, a poisoned hint takes the
+    /// counted stale-hint fallback, and neither changes any answer.
+    #[test]
+    fn injected_faults_are_counted_and_exact() {
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(-2));
+        lp.set_objective(1, q(-3));
+        lp.add_constraint(vec![(0, q(1)), (1, q(2))], R::Le, q(14));
+        lp.add_constraint(vec![(0, q(3)), (1, q(-1))], R::Ge, q(0));
+        let reference = lp.solve();
+        let mut cache = WarmCache::with_solver(Solver::Hybrid);
+        let first = lp.solve_warm_cached(&mut cache);
+        assert_eq!(first.objective_value, reference.objective_value);
+        assert_eq!(cache.hybrid_fallbacks(), 0);
+
+        cache.force_certification_failures(1);
+        assert_eq!(cache.pending_forced_cert_failures(), 1);
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.pending_forced_cert_failures(), 0);
+        assert_eq!(cache.hybrid_fallbacks(), 1, "injected fault must be a counted fallback");
+        assert_eq!(sol.status, reference.status);
+        assert_eq!(sol.objective_value, reference.objective_value);
+
+        cache.poison_hint();
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.warm_fallbacks(), 1, "poisoned hint must be a counted fallback");
+        assert_eq!(sol.objective_value, reference.objective_value);
+
+        // No pending fault left: the next solve certifies normally.
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.hybrid_fallbacks(), 1);
+        assert_eq!(sol.objective_value, reference.objective_value);
+    }
+
+    /// An injected fault whose exact fallback then blows the pivot
+    /// budget surfaces `PivotCapExhausted`; the fallback stays counted,
+    /// the hint survives, and an uncapped retry is exact.
+    #[test]
+    fn injected_fault_under_budget_is_recoverable() {
+        use crate::SolveBudget;
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(1));
+        lp.set_objective(1, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        lp.add_constraint(vec![(1, q(1))], R::Ge, q(2));
+        let cold = lp.solve();
+        let mut cache = WarmCache::with_solver(Solver::Hybrid);
+        // Both slack columns: the exact fallback's dual repair needs two
+        // pivots, one more than the budget grants.
+        cache.hint = vec![2, 3];
+        cache.force_certification_failures(1);
+        let err = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(1)).unwrap_err();
+        assert!(matches!(err, BudgetError::PivotCapExhausted { pivots } if pivots >= 2));
+        assert_eq!(cache.hybrid_fallbacks(), 1, "fault stays counted across the budget abort");
+        assert_eq!(cache.hint, vec![2, 3], "failed budgeted solve keeps the prior hint");
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(sol.status, cold.status);
+        assert_eq!(sol.objective_value, cold.objective_value);
     }
 }

@@ -41,7 +41,7 @@ mod sparse;
 
 pub use bnb::{solve_binary, BnbOptions, MilpSolution, MilpStatus};
 pub use problem::{Constraint, LinearProgram, Relation};
-pub use revised::{Pricing, RevisedOptions, RevisedStats, WarmCache};
+pub use revised::{BudgetError, Pricing, RevisedOptions, RevisedStats, SolveBudget, WarmCache};
 pub use simplex::{LpSolution, LpStatus, Solver};
 
 #[cfg(test)]

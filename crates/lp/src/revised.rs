@@ -188,6 +188,10 @@ pub struct WarmCache {
     /// (warm + hybrid) — the per-worker breakdown the batch/B&B layers
     /// report.
     pub(crate) per_worker_fallbacks: Vec<usize>,
+    /// Pending injected certification failures
+    /// ([`WarmCache::force_certification_failures`]), consumed one per
+    /// hybrid solve. Fault-injection hook; zero in normal operation.
+    pub(crate) forced_cert_failures: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -316,12 +320,118 @@ impl WarmCache {
     pub fn per_worker_fallbacks(&self) -> &[usize] {
         &self.per_worker_fallbacks
     }
+
+    /// Fault-injection hook: corrupt the cached warm state so the next
+    /// warm solve sees a stale hint. The poisoned hint fails the sanity
+    /// screen (out-of-range columns), so the solve takes the *counted*
+    /// stale-hint fallback (`warm_fallbacks += 1`) and still returns the
+    /// exact answer — this exercises the degradation path
+    /// deterministically without changing any result.
+    pub fn poison_hint(&mut self) {
+        let len = self.hint.len().max(2);
+        self.hint = vec![usize::MAX; len];
+        self.reuse = None;
+    }
+
+    /// Fault-injection hook: force the next `n` hybrid solves through
+    /// this cache to behave as if exact certification of the float
+    /// proposal failed, taking the counted exact fallback
+    /// (`hybrid_fallbacks`). No effect on non-hybrid caches; results are
+    /// unchanged (the fallback is the exact solver).
+    pub fn force_certification_failures(&mut self, n: usize) {
+        self.forced_cert_failures += n;
+    }
+
+    /// Injected certification failures not yet consumed by a solve.
+    pub fn pending_forced_cert_failures(&self) -> usize {
+        self.forced_cert_failures
+    }
+
+    /// Consume one pending forced certification failure, if any.
+    pub(crate) fn take_forced_cert_failure(&mut self) -> bool {
+        if self.forced_cert_failures > 0 {
+            self.forced_cert_failures -= 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 enum PhaseOutcome {
     Optimal,
     Unbounded,
+    /// A pivot budget ran out before the phase finished (budgeted solves
+    /// only; uncapped phases never return this).
+    PivotLimit,
 }
+
+/// How [`LinearProgram::solve_warm_revised_inner`] treats its pivot cap.
+enum WarmMode {
+    /// Historical behavior: on cap trip, restart cold (exact result
+    /// either way; the trip is counted in
+    /// [`WarmCache::warm_fallbacks`]). `None` uses the anti-cycling
+    /// formula cap.
+    Capped(Option<usize>),
+    /// Budgeted behavior: the cap is a hard budget over *all* exact
+    /// pivots (dual repair + primal phase); tripping it aborts with
+    /// [`BudgetError::PivotCapExhausted`] instead of silently restarting
+    /// cold, so the caller's degradation policy decides what runs next.
+    Budget(usize),
+}
+
+/// A per-solve resource budget for [`LinearProgram::solve_budgeted`].
+///
+/// `max_pivots` caps the *exact* simplex pivots of the warm re-solve
+/// paths (dual repair + primal phase). The hybrid float proposer and a
+/// cold first solve of a fresh cache are not pivot-capped: the former is
+/// cheap f64 work, the latter is already bounded by the anti-cycling
+/// cap and happens once per cache. `deadline` is checked once at entry
+/// — callers running sequences of budgeted solves (binary searches)
+/// get a deadline check per probe, which is the intended granularity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolveBudget {
+    /// Hard cap on exact simplex pivots (`Some(0)` fails immediately;
+    /// `None` = uncapped).
+    pub max_pivots: Option<usize>,
+    /// Wall-clock deadline checked at solve entry (`None` = no deadline).
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl SolveBudget {
+    /// A pivot-only budget.
+    pub fn pivots(max_pivots: usize) -> Self {
+        SolveBudget { max_pivots: Some(max_pivots), deadline: None }
+    }
+}
+
+/// Why a [`LinearProgram::solve_budgeted`] call gave up. The underlying
+/// program state is *not* corrupted: the cache keeps its previous hint,
+/// and a later uncapped solve returns the exact answer.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The budget's deadline had already passed at solve entry.
+    DeadlineExpired,
+    /// The exact pivot budget ran out mid-solve after `pivots` pivots.
+    PivotCapExhausted {
+        /// Exact pivots performed before giving up.
+        pivots: usize,
+    },
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetError::DeadlineExpired => write!(f, "solve deadline expired before entry"),
+            BudgetError::PivotCapExhausted { pivots } => {
+                write!(f, "pivot budget exhausted after {pivots} exact pivots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 /// Column-filter callback for the pricing scans. `Sync` so chunked
 /// parallel scans can share it across workers.
@@ -563,11 +673,29 @@ impl<'a> Core<'a> {
     /// [`Pricing`] strategy; the ratio test (and hence the anti-cycling
     /// leave tie-break) is shared by all strategies.
     fn run_phase(&mut self, cost: &[Q], allowed: Allowed) -> PhaseOutcome {
+        self.run_phase_capped(cost, allowed, None)
+    }
+
+    /// [`Core::run_phase`] under an optional hard cap on
+    /// `self.stats.pivots` (which includes pivots performed *before*
+    /// this phase, e.g. warm crash/repair): when one more pivot would
+    /// exceed the cap the phase stops with [`PhaseOutcome::PivotLimit`].
+    /// The check sits after pricing, so a phase that is already optimal
+    /// at the cap still reports `Optimal`.
+    fn run_phase_capped(
+        &mut self,
+        cost: &[Q],
+        allowed: Allowed,
+        cap: Option<usize>,
+    ) -> PhaseOutcome {
         loop {
             let y = self.btran_costs(cost);
             let Some(enter) = self.price_enter(cost, &y, allowed) else {
                 return PhaseOutcome::Optimal;
             };
+            if cap.is_some_and(|c| self.stats.pivots >= c) {
+                return PhaseOutcome::PivotLimit;
+            }
             self.ftran_col(enter);
             let Some(slot) = self.ratio_test() else {
                 return PhaseOutcome::Unbounded;
@@ -947,6 +1075,9 @@ impl LinearProgram {
                 PhaseOutcome::Unbounded => {
                     unreachable!("phase-1 objective is bounded below by 0")
                 }
+                PhaseOutcome::PivotLimit => {
+                    unreachable!("uncapped phase cannot hit a pivot limit")
+                }
                 PhaseOutcome::Optimal => {}
             }
             let infeas: Q = Q::sum(
@@ -1029,9 +1160,37 @@ impl LinearProgram {
     pub(crate) fn solve_warm_revised_capped(
         &self,
         hint: &[usize],
-        mut cache: Option<&mut WarmCache>,
+        cache: Option<&mut WarmCache>,
         cap_override: Option<usize>,
     ) -> LpSolution {
+        match self.solve_warm_revised_inner(hint, cache, WarmMode::Capped(cap_override)) {
+            Ok(sol) => sol,
+            Err(_) => unreachable!("capped mode never reports budget exhaustion"),
+        }
+    }
+
+    /// [`solve_warm_revised_capped`](Self::solve_warm_revised_capped)
+    /// under a hard pivot *budget*: instead of restarting cold when the
+    /// cap trips, the solve aborts with
+    /// [`BudgetError::PivotCapExhausted`] so the caller's degradation
+    /// policy decides what runs next. A stale hint still falls through
+    /// to a from-scratch crash (counted in `warm_fallbacks`), but the
+    /// crash's repair/primal pivots run under the same budget.
+    pub(crate) fn solve_warm_revised_budgeted(
+        &self,
+        hint: &[usize],
+        cache: Option<&mut WarmCache>,
+        limit: usize,
+    ) -> Result<LpSolution, BudgetError> {
+        self.solve_warm_revised_inner(hint, cache, WarmMode::Budget(limit))
+    }
+
+    fn solve_warm_revised_inner(
+        &self,
+        hint: &[usize],
+        mut cache: Option<&mut WarmCache>,
+        mode: WarmMode,
+    ) -> Result<LpSolution, BudgetError> {
         let n = self.num_vars;
         let (srows, rels, rhs) = assemble(self);
         let m = srows.len();
@@ -1114,18 +1273,26 @@ impl LinearProgram {
                     // (out-of-range columns or duplicate slots): crashing
                     // what's left would start from a half-garbage basis.
                     // Route to the cold path instead, counted like the
-                    // anti-cycling fallback so callers see it.
+                    // anti-cycling fallback so callers see it. Under a
+                    // budget the cold restart is the very thing being
+                    // bounded, so count the fallback and crash from
+                    // scratch with the budget still governing the pivots.
                     if let Some(c) = cache.as_deref_mut() {
                         c.warm_fallbacks += 1;
-                        return self
-                            .solve_revised_with(&RevisedOptions {
-                                pricing: c.pricing,
-                                threads: c.threads,
-                                ..RevisedOptions::default()
-                            })
-                            .0;
                     }
-                    return self.solve();
+                    if matches!(mode, WarmMode::Capped(_)) {
+                        if let Some(c) = cache.as_deref_mut() {
+                            return Ok(self
+                                .solve_revised_with(&RevisedOptions {
+                                    pricing: c.pricing,
+                                    threads: c.threads,
+                                    ..RevisedOptions::default()
+                                })
+                                .0);
+                        }
+                        return Ok(self.solve());
+                    }
+                    wanted.clear();
                 }
                 for c in wanted.into_iter().chain(0..cols) {
                     if left == 0 {
@@ -1169,7 +1336,7 @@ impl LinearProgram {
         // zero row: Σ (zero coefficients)·x = b ≠ 0.
         for (i, is_dead) in dead.iter().enumerate() {
             if *is_dead && !xb[i].is_zero() {
-                return LpSolution::failed(LpStatus::Infeasible, n);
+                return Ok(LpSolution::failed(LpStatus::Infeasible, n));
             }
         }
 
@@ -1193,7 +1360,11 @@ impl LinearProgram {
         // --- Dual-simplex repair of b ≥ 0 (zero objective: any basis is
         // dual-feasible; Bland selections are the classic anti-cycling
         // dual rule).
-        let pivot_cap = cap_override.unwrap_or(64 * (m + cols) + 1024);
+        let anticycle_cap = 64 * (m + cols) + 1024;
+        let pivot_cap = match mode {
+            WarmMode::Capped(o) => o.unwrap_or(anticycle_cap),
+            WarmMode::Budget(l) => l.min(anticycle_cap),
+        };
         let mut pivots = 0usize;
         while let Some(row) =
             (0..m).filter(|&i| core.xb[i].is_negative()).min_by_key(|&i| core.basis[i])
@@ -1204,13 +1375,22 @@ impl LinearProgram {
                 .find(|&j| core.transformed_entry(&rho, j).is_negative());
             let Some(enter) = enter else {
                 // Σ (nonnegative coeffs)·x = b < 0 over x ≥ 0: infeasible.
-                return LpSolution::failed(LpStatus::Infeasible, n);
+                return Ok(LpSolution::failed(LpStatus::Infeasible, n));
             };
             core.ftran_col(enter);
             debug_assert!(core.u[row].is_negative());
             core.pivot(row, enter);
             pivots += 1;
             if pivots > pivot_cap {
+                if let WarmMode::Budget(_) = mode {
+                    // The budget is a hard stop, not a license to restart
+                    // cold; surface what was spent and let the caller's
+                    // ladder pick the next rung.
+                    if let Some(c) = cache.as_deref_mut() {
+                        c.absorb_pricing(&core.stats);
+                    }
+                    return Err(BudgetError::PivotCapExhausted { pivots: core.stats.pivots });
+                }
                 // Safety valve: exactness is preserved either way, the
                 // cold solve is simply the slower sure thing. Counted so
                 // callers can see their warm starts degrading instead of
@@ -1227,15 +1407,28 @@ impl LinearProgram {
                 if let Some(c) = cache.as_deref_mut() {
                     c.absorb_pricing(&cold_stats);
                 }
-                return sol;
+                return Ok(sol);
             }
         }
 
         // --- Primal phase for the real objective. ------------------------
         let mut cost = self.objective.clone();
         cost.resize(cols, Q::zero());
-        if let PhaseOutcome::Unbounded = core.run_phase(&cost, &|_| true) {
-            return LpSolution::failed(LpStatus::Unbounded, n);
+        let phase_cap = match mode {
+            WarmMode::Capped(_) => None,
+            WarmMode::Budget(l) => Some(l),
+        };
+        match core.run_phase_capped(&cost, &|_| true, phase_cap) {
+            PhaseOutcome::Unbounded => {
+                return Ok(LpSolution::failed(LpStatus::Unbounded, n));
+            }
+            PhaseOutcome::PivotLimit => {
+                if let Some(c) = cache.as_deref_mut() {
+                    c.absorb_pricing(&core.stats);
+                }
+                return Err(BudgetError::PivotCapExhausted { pivots: core.stats.pivots });
+            }
+            PhaseOutcome::Optimal => {}
         }
 
         let sol = self.extract_revised(&core, &dead);
@@ -1254,7 +1447,7 @@ impl LinearProgram {
                 Some(ReuseState { m, cols, basis: core.basis, factor: core.factor, snapshot })
             };
         }
-        sol
+        Ok(sol)
     }
 
     /// Warm-started solve from a basis hint.
@@ -1289,7 +1482,11 @@ impl LinearProgram {
         match solver {
             crate::Solver::Revised => self.solve_warm_revised(hint, None),
             crate::Solver::Sparse | crate::Solver::Dense => self.solve_warm_sparse(hint),
-            crate::Solver::Hybrid => self.solve_hybrid_warm(hint, None).0,
+            crate::Solver::Hybrid => {
+                self.solve_hybrid_warm(hint, None, None)
+                    .unwrap_or_else(|_| unreachable!("uncapped hybrid warm solve has no budget"))
+                    .0
+            }
         }
     }
 
@@ -1316,6 +1513,61 @@ impl LinearProgram {
                 cache.hint = sol.basis.clone();
             }
             sol
+        }
+    }
+
+    /// [`solve_warm_cached`](Self::solve_warm_cached) under a resource
+    /// [`SolveBudget`]: the solve either finishes exactly (same answer an
+    /// uncapped solve would return) or gives up with a [`BudgetError`],
+    /// leaving the cache's previous warm state intact so a later solve —
+    /// through this entry point or any other — still works. This is the
+    /// epoch re-solve entry for callers with a degradation ladder: try
+    /// budgeted, and on `Err` fall back to whatever cheaper answer they
+    /// can afford.
+    ///
+    /// Budget semantics: `deadline` is checked once at entry (a sequence
+    /// of probes gets one check per probe); `max_pivots` caps the exact
+    /// pivots of the warm paths — see [`SolveBudget`] for what stays
+    /// uncapped. `max_pivots: None` degenerates to
+    /// [`solve_warm_cached`](Self::solve_warm_cached).
+    pub fn solve_budgeted(
+        &self,
+        cache: &mut WarmCache,
+        budget: &SolveBudget,
+    ) -> Result<LpSolution, BudgetError> {
+        if let Some(deadline) = budget.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(BudgetError::DeadlineExpired);
+            }
+        }
+        match budget.max_pivots {
+            None => Ok(self.solve_warm_cached(cache)),
+            Some(0) => Err(BudgetError::PivotCapExhausted { pivots: 0 }),
+            Some(limit) => {
+                if cache.solver == crate::Solver::Hybrid {
+                    return self.solve_hybrid_budgeted_cached(cache, limit);
+                }
+                if cache.is_warm() {
+                    let hint = std::mem::take(&mut cache.hint);
+                    match self.solve_warm_revised_budgeted(&hint, Some(cache), limit) {
+                        Ok(sol) => {
+                            if cache.hint.is_empty() {
+                                cache.hint = hint; // failed solve: keep the old hint
+                            }
+                            Ok(sol)
+                        }
+                        Err(e) => {
+                            cache.hint = hint;
+                            Err(e)
+                        }
+                    }
+                } else {
+                    // Cold first solve of a fresh cache: bounded by the
+                    // anti-cycling cap, happens once — not pivot-capped
+                    // (see [`SolveBudget`]).
+                    Ok(self.solve_warm_cached(cache))
+                }
+            }
         }
     }
 }
@@ -1582,5 +1834,79 @@ mod tests {
         let warm = lp.solve_warm_revised_capped(&cold.basis, Some(&mut cache), None);
         assert_eq!(warm.objective_value, cold.objective_value);
         assert_eq!(cache.warm_fallbacks(), 1);
+    }
+
+    /// A zero pivot budget and an already-expired deadline both fail
+    /// fast without touching the cache, which stays fully usable.
+    #[test]
+    fn budget_zero_and_expired_deadline_fail_fast() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        let mut cache = WarmCache::new();
+        let err = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(0)).unwrap_err();
+        assert_eq!(err, BudgetError::PivotCapExhausted { pivots: 0 });
+        let expired = SolveBudget { max_pivots: None, deadline: Some(std::time::Instant::now()) };
+        let err = lp.solve_budgeted(&mut cache, &expired).unwrap_err();
+        assert_eq!(err, BudgetError::DeadlineExpired);
+        // The cache is untouched: an uncapped solve works and warms it.
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective_value, q(3));
+        assert!(cache.is_warm());
+        // A generous budget returns the same exact answer as uncapped.
+        let sol = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(1_000)).unwrap();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_eq!(sol.objective_value, q(3));
+    }
+
+    /// A budget tripped mid-solve surfaces `PivotCapExhausted`, keeps the
+    /// prior hint, and a later uncapped solve still returns the exact
+    /// answer — the recoverability contract the degradation ladder
+    /// builds on.
+    #[test]
+    fn budget_trip_midsolve_is_recoverable() {
+        // min x + y s.t. x >= 3, y >= 2: hinting both slack columns
+        // crashes to xb = (-3, -2), so the dual repair needs two pivots
+        // — one more than the budget allows.
+        let mut lp = LinearProgram::new(2);
+        lp.set_objective(0, q(1));
+        lp.set_objective(1, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        lp.add_constraint(vec![(1, q(1))], R::Ge, q(2));
+        let cold = lp.solve();
+        let mut cache = WarmCache::new();
+        cache.hint = vec![2, 3];
+        let err = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(1)).unwrap_err();
+        assert!(matches!(err, BudgetError::PivotCapExhausted { pivots } if pivots >= 2));
+        assert_eq!(cache.hint, vec![2, 3], "failed budgeted solve keeps the prior hint");
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(sol.status, cold.status);
+        assert_eq!(sol.objective_value, cold.objective_value);
+    }
+
+    /// `poison_hint` makes the next warm solve take the counted
+    /// stale-hint fallback while still returning the exact answer.
+    #[test]
+    fn poisoned_hint_is_counted_and_exact() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        let mut cache = WarmCache::new();
+        let first = lp.solve_warm_cached(&mut cache);
+        assert_eq!(first.status, LpStatus::Optimal);
+        assert_eq!(cache.warm_fallbacks(), 0);
+        cache.poison_hint();
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.warm_fallbacks(), 1, "poisoned hint must be a counted fallback");
+        assert_eq!(sol.status, first.status);
+        assert_eq!(sol.objective_value, first.objective_value);
+        assert_eq!(sol.values, first.values);
+        // Under a budget the poisoned hint is equally counted; the
+        // from-scratch crash runs inside the budget.
+        cache.poison_hint();
+        let sol = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(1_000)).unwrap();
+        assert_eq!(cache.warm_fallbacks(), 2);
+        assert_eq!(sol.objective_value, first.objective_value);
     }
 }

@@ -11,6 +11,7 @@ use numeric::Q;
 use crate::problem::{LinearProgram, Relation};
 
 /// Outcome of an LP solve.
+#[non_exhaustive]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LpStatus {
     /// An optimal basic feasible solution was found.

@@ -1,0 +1,896 @@
+//! The online scheduler service: an event-driven loop that keeps a live
+//! hierarchical schedule across epochs while machines fail and recover,
+//! jobs arrive and depart, and the solver itself is being sabotaged.
+//!
+//! Each event opens an *epoch*. The service updates its job/machine
+//! state, re-places only the jobs the event displaced (the paper's
+//! online discipline — arrivals never move existing jobs; departures may
+//! trigger a bounded rebalance), then runs a three-tier degradation
+//! ladder to recompute the certified horizon reference `T*`:
+//!
+//! 1. **Warm** — the persistent [`lp::Solver::Hybrid`] warm cache under a
+//!    per-probe pivot budget ([`lp::SolveBudget`]). Injected faults land
+//!    here: poisoned warm hints and forced certification failures are
+//!    absorbed by the solver's own counted fallbacks.
+//! 2. **Cold** — on budget exhaustion, the exact revised simplex from a
+//!    cold start (no reuse of the possibly-faulted cache state).
+//! 3. **Degraded** — on a deadline overrun, no LP at all: the
+//!    combinatorial lower bound `max(bottleneck, volume)` stands in for
+//!    `T*` and the [`baselines`] greedy provides an upper-bound quality
+//!    reference.
+//!
+//! Every tier yields the *same certified* `T*` whenever it completes a
+//! certified solve (tiers 1 and 2 are exact; only tier 3 degrades to a
+//! bound) — degradation changes latency and tightness, never
+//! correctness.
+//!
+//! After every epoch the invariant layer re-derives the schedule with
+//! Algorithms 2+3, validates it structurally, replays it on the
+//! discrete-event simulator, and checks the paper's disruption ledger:
+//! `≤ m_h − 1` split migrations and `≤ 2·m_h − 2` total disruptions per
+//! epoch over the `m_h` healthy machines (asserted on semi-partitioned
+//! shapes, recorded otherwise), plus the per-event reassignment bounds
+//! (`≤ m_h − 1` on arrivals, `≤ 2·m_h − 2` on departures). Jobs that
+//! cannot run on any healthy machine sit in a quarantine and are
+//! readmitted on recovery.
+
+use baselines::greedy::greedy_hierarchical;
+use hsched_core::hier::{schedule_hierarchical, HierError};
+use hsched_core::{Assignment, Instance, Schedule, ScheduleError};
+use laminar::{topology, LaminarFamily, MachineSet};
+use lp::{BudgetError, LinearProgram, LpStatus, Relation, SolveBudget, Solver, WarmCache};
+use numeric::Q;
+use simulator::{simulate, SimError};
+
+pub use workloads::online::{event_stream, Event, FaultPlan, JobSpec, SolverFault, StreamConfig};
+
+/// Why the service aborted an epoch. Every variant is an *invariant
+/// violation* — graceful degradation (fallbacks, quarantine) never
+/// errors; a `ServiceError` means the robustness contract itself broke.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Algorithms 2+3 rejected the epoch's `(assignment, T)`.
+    Hier(HierError),
+    /// The epoch's schedule failed structural validation.
+    Invalid(ScheduleError),
+    /// The simulator replay disagreed with the schedule.
+    Sim(SimError),
+    /// The simulator's makespan exceeded the epoch horizon.
+    MakespanExceedsHorizon { event: usize },
+    /// Split migrations exceeded `m_h − 1` on a semi-partitioned epoch.
+    SplitBound { event: usize, got: usize, bound: usize },
+    /// Total disruptions exceeded `2·m_h − 2` on a semi-partitioned epoch.
+    DisruptionBound { event: usize, got: usize, bound: usize },
+    /// More jobs were reassigned than the per-event bound allows.
+    MoveBound { event: usize, got: usize, bound: usize },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Hier(e) => write!(f, "epoch scheduler failed: {e}"),
+            ServiceError::Invalid(e) => write!(f, "epoch schedule invalid: {e}"),
+            ServiceError::Sim(e) => write!(f, "simulator replay failed: {e}"),
+            ServiceError::MakespanExceedsHorizon { event } => {
+                write!(f, "event #{event}: replayed makespan exceeds the epoch horizon")
+            }
+            ServiceError::SplitBound { event, got, bound } => {
+                write!(f, "event #{event}: {got} split migrations > bound {bound} (m_h - 1)")
+            }
+            ServiceError::DisruptionBound { event, got, bound } => {
+                write!(f, "event #{event}: {got} disruptions > bound {bound} (2 m_h - 2)")
+            }
+            ServiceError::MoveBound { event, got, bound } => {
+                write!(f, "event #{event}: {got} reassignments > per-event bound {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Which rung of the degradation ladder produced an epoch's `T*`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Budgeted hybrid solve over the persistent warm cache.
+    Warm,
+    /// Cold exact revised simplex after a budget exhaustion.
+    Cold,
+    /// No LP (deadline overrun or total blackout): combinatorial bound
+    /// plus the greedy baseline as quality reference.
+    Degraded,
+}
+
+/// What one epoch did, for callers that drive [`Scheduler::apply`]
+/// directly (the batch entry [`run`] folds these into the report).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochOutcome {
+    /// Index of the event that opened the epoch.
+    pub event_index: usize,
+    /// Ladder rung that produced `t_star`.
+    pub tier: Tier,
+    /// Minimal integral horizon of the epoch's live assignment.
+    pub t_epoch: u64,
+    /// Certified (tiers 1–2) or combinatorial (tier 3) reference horizon.
+    pub t_star: u64,
+    /// Greedy-baseline horizon, recorded on degraded epochs only.
+    pub t_greedy: Option<u64>,
+    /// Existing jobs whose assigned set changed this epoch.
+    pub moved: usize,
+    /// Quarantine population after the epoch.
+    pub quarantined_now: usize,
+    /// `Σ_j (machines_used(j) − 1)` of the epoch schedule.
+    pub split_migrations: usize,
+    /// Migrations + preemptions of the epoch schedule.
+    pub disruptions_total: usize,
+}
+
+/// Cumulative, thread-count-invariant counters for a service run. Every
+/// field is integral and deterministic for a fixed event stream + fault
+/// plan, so goldens can pin the whole struct bit-for-bit. (The one
+/// thread-variant solver statistic, `columns_priced`, is deliberately
+/// not included.)
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Events processed.
+    pub events: usize,
+    /// Arrival events.
+    pub arrivals: usize,
+    /// Departure events.
+    pub departures: usize,
+    /// Machine-failure events.
+    pub failures: usize,
+    /// Machine-recovery events.
+    pub recoveries: usize,
+    /// Epochs resolved by the warm budgeted tier.
+    pub epochs_tier1: usize,
+    /// Epochs that fell back to the cold exact tier.
+    pub epochs_tier2: usize,
+    /// Epochs degraded to the LP-free tier.
+    pub epochs_tier3: usize,
+    /// Faults the plan injected.
+    pub faults_injected: usize,
+    /// Injected warm-hint poisonings.
+    pub hint_poisons: usize,
+    /// Injected forced certification failures.
+    pub cert_faults: usize,
+    /// Forced certification failures armed but not yet consumed by a
+    /// solve when the run ended.
+    pub cert_faults_pending: usize,
+    /// Injected epoch-deadline overruns.
+    pub deadline_faults: usize,
+    /// Stale/poisoned-hint fallbacks counted by the warm cache.
+    pub warm_fallbacks: usize,
+    /// Hybrid float bases certified exactly.
+    pub hybrid_certified: usize,
+    /// Hybrid certification failures absorbed by the exact path.
+    pub hybrid_fallbacks: usize,
+    /// Warm-start factorization reuses.
+    pub factor_reuses: usize,
+    /// Tier-1 pivot/deadline budgets that tripped mid-epoch.
+    pub budget_exhaustions: usize,
+    /// Cumulative reassignments of existing jobs.
+    pub reassignments: usize,
+    /// Largest per-arrival reassignment count (paper bound: `m_h − 1`).
+    pub max_arrival_moves: usize,
+    /// Largest per-departure reassignment count (bound: `2 m_h − 2`).
+    pub max_departure_moves: usize,
+    /// Largest per-epoch split-migration count.
+    pub max_split_migrations: usize,
+    /// Largest per-epoch total disruption count.
+    pub max_disruption_total: usize,
+    /// Jobs that entered the capacity quarantine (with multiplicity).
+    pub quarantine_entries: usize,
+    /// Quarantined jobs readmitted after a recovery.
+    pub readmissions: usize,
+    /// Largest quarantine population observed.
+    pub quarantine_peak: usize,
+    /// Live scheduled jobs when the run ended.
+    pub final_active: usize,
+    /// Quarantined jobs when the run ended.
+    pub final_quarantined: usize,
+}
+
+/// Static configuration of a [`Scheduler`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// The machine topology (a laminar family over `m` machines).
+    pub family: LaminarFamily,
+    /// Migration-overhead numerator: a job with base demand `b` on a set
+    /// of `s` machines costs `b + ⌈b·ovh_num·(s−1) / (ovh_den·m)⌉`.
+    pub ovh_num: u64,
+    /// Migration-overhead denominator.
+    pub ovh_den: u64,
+    /// Per-probe pivot budget for the warm tier; `None` = unbudgeted
+    /// (tier 1 then never exhausts).
+    pub budget: Option<usize>,
+    /// Entering-column strategy for all LP probes.
+    pub pricing: lp::Pricing,
+    /// Rebalance after departures when `t_epoch > 2·t_star`, moving at
+    /// most `m_h − 1` jobs (strict improvements only).
+    pub rebalance: bool,
+}
+
+impl ServiceConfig {
+    /// The paper's semi-partitioned topology with the default overhead
+    /// model (`1/4` per extra machine, normalized by `m`), a 4096-pivot
+    /// probe budget, and rebalancing on.
+    pub fn semi_partitioned(m: usize) -> Self {
+        ServiceConfig {
+            family: topology::semi_partitioned(m),
+            ovh_num: 1,
+            ovh_den: 4,
+            budget: Some(4096),
+            pricing: lp::Pricing::default(),
+            rebalance: true,
+        }
+    }
+}
+
+/// Incremental horizon bookkeeping for greedy placement: per-set
+/// committed volumes plus the max committed processing time (the same
+/// quantities [`Assignment::minimal_integral_horizon`] maximizes over).
+struct Tracker<'a> {
+    instance: &'a Instance,
+    volume: Vec<Q>,
+    max_p: u64,
+}
+
+impl<'a> Tracker<'a> {
+    fn new(instance: &'a Instance) -> Self {
+        Tracker { instance, volume: vec![Q::zero(); instance.family().len()], max_p: 0 }
+    }
+
+    /// Horizon of the committed volume if job `j` were put on set `a`.
+    fn horizon_with(&self, j: usize, a: usize) -> Option<u64> {
+        let p = self.instance.ptime(j, a)?;
+        let mut t = self.max_p.max(p);
+        for alpha in 0..self.instance.family().len() {
+            let mut vol = Q::zero();
+            for b in self.instance.subsets_of(alpha) {
+                vol += self.volume[b].clone();
+                if b == a {
+                    vol += Q::from(p);
+                }
+            }
+            let per = vol / Q::from(self.instance.set(alpha).len() as u64);
+            t = t.max(per.ceil().to_i64().expect("service volumes fit i64") as u64);
+        }
+        Some(t)
+    }
+
+    fn commit(&mut self, j: usize, a: usize) {
+        let p = self.instance.ptime(j, a).expect("admissible");
+        self.volume[a] += Q::from(p);
+        self.max_p = self.max_p.max(p);
+    }
+}
+
+/// All finite `(set, job)` pairs of an instance — the fixed variable
+/// layout shared by every probe of one epoch's binary search.
+fn finite_pairs(instance: &Instance) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for a in 0..instance.family().len() {
+        for j in 0..instance.num_jobs() {
+            if instance.ptime(j, a).is_some() {
+                pairs.push((a, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// The (IP-3) relaxation at horizon `t` over the fixed layout `pairs`
+/// (pairs with `p > t` are left out of every constraint, which is
+/// feasibility-equivalent to pruning them).
+fn feasibility_lp(instance: &Instance, pairs: &[(usize, usize)], t: u64) -> LinearProgram {
+    let var_of = |set: usize, job: usize| pairs.iter().position(|&p| p == (set, job));
+    let mut lp = LinearProgram::new(pairs.len());
+    for j in 0..instance.num_jobs() {
+        let coeffs: Vec<(usize, Q)> = (0..instance.family().len())
+            .filter(|&a| instance.ptime(j, a).is_some_and(|p| p <= t))
+            .map(|a| (var_of(a, j).expect("finite pair in layout"), Q::one()))
+            .collect();
+        lp.add_constraint(coeffs, Relation::Eq, Q::one());
+    }
+    for a in 0..instance.family().len() {
+        let mut coeffs: Vec<(usize, Q)> = Vec::new();
+        for b in instance.subsets_of(a) {
+            for j in 0..instance.num_jobs() {
+                if let Some(p) = instance.ptime(j, b) {
+                    if p <= t {
+                        coeffs.push((var_of(b, j).expect("finite pair in layout"), Q::from(p)));
+                    }
+                }
+            }
+        }
+        let cap = Q::from(instance.family().set(a).len() as u64) * Q::from(t);
+        lp.add_constraint(coeffs, Relation::Le, cap);
+    }
+    lp
+}
+
+/// The event-driven online scheduler.
+pub struct Scheduler {
+    cfg: ServiceConfig,
+    /// Live scheduled jobs in stable (arrival) order.
+    active: Vec<JobSpec>,
+    /// Assigned *original* family set index, parallel to `active`.
+    masks: Vec<usize>,
+    /// Jobs with no healthy machine to run on.
+    quarantined: Vec<JobSpec>,
+    /// Original set indices of currently-failed subtrees.
+    failed: Vec<usize>,
+    healthy: MachineSet,
+    /// Tier-1 persistent hybrid warm cache (the fault-injection target).
+    cache: WarmCache,
+    report: ServiceReport,
+    events_seen: usize,
+}
+
+impl Scheduler {
+    /// A fresh service over `cfg.family` with all machines healthy.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        assert!(cfg.ovh_den > 0, "overhead denominator must be positive");
+        let m = cfg.family.num_machines();
+        let cache = WarmCache::with_solver_pricing(Solver::Hybrid, cfg.pricing);
+        Scheduler {
+            cfg,
+            active: Vec::new(),
+            masks: Vec::new(),
+            quarantined: Vec::new(),
+            failed: Vec::new(),
+            healthy: MachineSet::full(m),
+            cache,
+            report: ServiceReport::default(),
+            events_seen: 0,
+        }
+    }
+
+    /// Processing time of `spec` on original set `a`, under the
+    /// migration-overhead model (pinned jobs run only on their machine's
+    /// singleton — ∞ on supersets is monotone).
+    fn ptime(&self, spec: &JobSpec, a: usize) -> Option<u64> {
+        let set = self.cfg.family.set(a);
+        match spec.pinned {
+            Some(i) => (set.len() == 1 && set.contains(i)).then_some(spec.base),
+            None => {
+                let m = self.cfg.family.num_machines() as u64;
+                let extra = spec.base * self.cfg.ovh_num * (set.len() as u64 - 1);
+                Some(spec.base + extra.div_ceil(self.cfg.ovh_den * m))
+            }
+        }
+    }
+
+    /// Currently healthy machines.
+    pub fn healthy(&self) -> &MachineSet {
+        &self.healthy
+    }
+
+    /// Live scheduled jobs.
+    pub fn active_jobs(&self) -> &[JobSpec] {
+        &self.active
+    }
+
+    /// Quarantined (currently unschedulable) jobs.
+    pub fn quarantined_jobs(&self) -> &[JobSpec] {
+        &self.quarantined
+    }
+
+    /// The report so far (final solver counters folded in).
+    pub fn report(&self) -> ServiceReport {
+        let mut r = self.report.clone();
+        r.warm_fallbacks = self.cache.warm_fallbacks();
+        r.hybrid_certified = self.cache.hybrid_certified();
+        r.hybrid_fallbacks = self.cache.hybrid_fallbacks();
+        r.factor_reuses = self.cache.factor_reuses();
+        r.cert_faults_pending = self.cache.pending_forced_cert_failures();
+        r.final_active = self.active.len();
+        r.final_quarantined = self.quarantined.len();
+        r
+    }
+
+    fn quarantine(&mut self, spec: JobSpec) {
+        self.quarantined.push(spec);
+        self.report.quarantine_entries += 1;
+        self.report.quarantine_peak = self.report.quarantine_peak.max(self.quarantined.len());
+    }
+
+    /// Smallest `t ∈ [lb, ub]` whose (IP-3) relaxation is feasible,
+    /// probing through the persistent warm cache under the per-probe
+    /// budget. `ub` must be feasible (the epoch's integral assignment is
+    /// the witness).
+    fn tstar_warm(
+        &mut self,
+        instance: &Instance,
+        pairs: &[(usize, usize)],
+        lb: u64,
+        ub: u64,
+    ) -> Result<u64, BudgetError> {
+        let budget = SolveBudget { max_pivots: self.cfg.budget, deadline: None };
+        let (mut lo, mut hi) = (lb, ub);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let lp = feasibility_lp(instance, pairs, mid);
+            let sol = lp.solve_budgeted(&mut self.cache, &budget)?;
+            if sol.status == LpStatus::Optimal {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// The same search from a cold start: one fresh exact revised solver
+    /// per probe, no state shared with the (possibly faulted) warm cache.
+    fn tstar_cold(&self, instance: &Instance, pairs: &[(usize, usize)], lb: u64, ub: u64) -> u64 {
+        let (mut lo, mut hi) = (lb, ub);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let lp = feasibility_lp(instance, pairs, mid);
+            let mut cold = WarmCache::with_solver_pricing(Solver::Revised, self.cfg.pricing);
+            if lp.solve_warm_cached(&mut cold).status == LpStatus::Optimal {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        hi
+    }
+
+    /// Process one event (with an optionally injected solver fault) and
+    /// run the epoch: state update, bounded re-placement, degradation
+    /// ladder, schedule + validation + replay, disruption ledger.
+    pub fn apply(
+        &mut self,
+        event: &Event,
+        fault: Option<SolverFault>,
+    ) -> Result<EpochOutcome, ServiceError> {
+        let event_index = self.events_seen;
+        self.events_seen += 1;
+        self.report.events += 1;
+
+        // --- Fault injection (before any solving this epoch). --------
+        let mut deadline_overrun = false;
+        if let Some(f) = fault {
+            self.report.faults_injected += 1;
+            match f {
+                SolverFault::PoisonWarmHint => {
+                    self.cache.poison_hint();
+                    self.report.hint_poisons += 1;
+                }
+                SolverFault::ForceCertFailure => {
+                    self.cache.force_certification_failures(1);
+                    self.report.cert_faults += 1;
+                }
+                SolverFault::DeadlineOverrun => {
+                    deadline_overrun = true;
+                    self.report.deadline_faults += 1;
+                }
+            }
+        }
+
+        // --- State update + jobs needing (re)placement. ---------------
+        let mut to_place: Vec<JobSpec> = Vec::new();
+        let mut is_arrival = false;
+        let mut is_departure = false;
+        match *event {
+            Event::Arrive(spec) => {
+                self.report.arrivals += 1;
+                is_arrival = true;
+                to_place.push(spec);
+            }
+            Event::Depart(id) => {
+                self.report.departures += 1;
+                is_departure = true;
+                if let Some(pos) = self.active.iter().position(|s| s.id == id) {
+                    self.active.remove(pos);
+                    self.masks.remove(pos);
+                } else if let Some(pos) = self.quarantined.iter().position(|s| s.id == id) {
+                    self.quarantined.remove(pos);
+                }
+            }
+            Event::MachineFail(a) => {
+                self.report.failures += 1;
+                self.healthy = self.healthy.difference(self.cfg.family.set(a));
+                self.failed.push(a);
+            }
+            Event::MachineRecover(a) => {
+                self.report.recoveries += 1;
+                if let Some(pos) = self.failed.iter().position(|&x| x == a) {
+                    self.failed.remove(pos);
+                }
+                self.healthy = self.healthy.union(self.cfg.family.set(a));
+                // Readmission: quarantined jobs that can run again go
+                // back through placement like fresh arrivals.
+                let healthy = self.healthy.clone();
+                let drained: Vec<JobSpec> = std::mem::take(&mut self.quarantined);
+                for spec in drained {
+                    let runnable = match spec.pinned {
+                        Some(i) => healthy.contains(i),
+                        None => true,
+                    };
+                    if runnable {
+                        self.report.readmissions += 1;
+                        to_place.push(spec);
+                    } else {
+                        self.quarantined.push(spec);
+                    }
+                }
+            }
+        }
+
+        // --- Build the epoch instance over the healthy machines. ------
+        // Candidates: kept jobs (stable order, with their old masks)
+        // then the jobs to place.
+        let specs: Vec<JobSpec> =
+            self.active.iter().copied().chain(to_place.iter().copied()).collect();
+        let old_masks: Vec<Option<usize>> =
+            self.masks.iter().map(|&a| Some(a)).chain(to_place.iter().map(|_| None)).collect();
+
+        // Jobs with no admissible set even on the full topology (e.g.
+        // pinned to a machine whose singleton the family lacks) go
+        // straight to quarantine.
+        let mut schedulable: Vec<(JobSpec, Option<usize>)> = Vec::new();
+        for (spec, old) in specs.iter().zip(&old_masks) {
+            if (0..self.cfg.family.len()).any(|a| self.ptime(spec, a).is_some()) {
+                schedulable.push((*spec, *old));
+            } else {
+                self.quarantine(*spec);
+            }
+        }
+
+        let family = self.cfg.family.clone();
+        let orig =
+            Instance::from_fn(family, schedulable.len(), |j, a| self.ptime(&schedulable[j].0, a))
+                .expect("schedulable candidates each have an admissible set");
+
+        let Some(r) = orig.restrict_to(&self.healthy) else {
+            // Total blackout: no admissible set survives. Everything
+            // quarantines; the epoch degrades to an empty schedule.
+            for (spec, old) in schedulable {
+                if old.is_some() {
+                    self.report.reassignments += 0; // quarantine ≠ reassignment
+                }
+                self.quarantine(spec);
+            }
+            self.active.clear();
+            self.masks.clear();
+            self.report.epochs_tier3 += 1;
+            return Ok(EpochOutcome {
+                event_index,
+                tier: Tier::Degraded,
+                t_epoch: 0,
+                t_star: 0,
+                t_greedy: None,
+                moved: 0,
+                quarantined_now: self.quarantined.len(),
+                split_migrations: 0,
+                disruptions_total: 0,
+            });
+        };
+
+        // Orphans of the restriction (finite only on failed machinery)
+        // join the quarantine; survivors carry over in restricted-row
+        // order.
+        let mut r_specs: Vec<JobSpec> = Vec::new();
+        let mut r_old: Vec<Option<usize>> = Vec::new();
+        for (j, (spec, old)) in schedulable.iter().enumerate() {
+            match r.job_map[j] {
+                Some(rj) => {
+                    debug_assert_eq!(rj, r_specs.len());
+                    r_specs.push(*spec);
+                    r_old.push(*old);
+                }
+                None => self.quarantine(*spec),
+            }
+        }
+
+        // --- Bounded re-placement over the restricted instance. -------
+        let fam_r = r.instance.family();
+        let m_h = fam_r.covered_machines().len();
+        let mut rmask: Vec<Option<usize>> = vec![None; r_specs.len()];
+        let mut displaced: Vec<usize> = Vec::new();
+        for (rj, old) in r_old.iter().enumerate() {
+            match old.and_then(|a| r.set_map[a]) {
+                // A kept mask survives when its healthy intersection is
+                // nonempty and still admits the job.
+                Some(k) if r.instance.ptime(rj, k).is_some() => rmask[rj] = Some(k),
+                _ => displaced.push(rj),
+            }
+        }
+        let mut tracker = Tracker::new(&r.instance);
+        for (rj, k) in rmask.iter().enumerate() {
+            if let Some(k) = *k {
+                tracker.commit(rj, k);
+            }
+        }
+        let mut moved = 0usize;
+        for &rj in &displaced {
+            let (best, _) = (0..fam_r.len())
+                .filter_map(|a| tracker.horizon_with(rj, a).map(|t| (a, t)))
+                .min_by_key(|&(a, t)| (t, r.instance.ptime(rj, a).expect("admissible")))
+                .expect("surviving jobs have an admissible restricted set");
+            rmask[rj] = Some(best);
+            tracker.commit(rj, best);
+            if r_old[rj].is_some() {
+                moved += 1;
+            }
+        }
+        let mut rmask: Vec<usize> =
+            rmask.into_iter().map(|k| k.expect("every survivor placed")).collect();
+
+        let horizon = |mask: &[usize]| -> u64 {
+            Assignment::new(mask.to_vec())
+                .minimal_integral_horizon(&r.instance)
+                .expect("all assigned sets are admissible")
+        };
+        let mut t_epoch = horizon(&rmask);
+
+        // --- Degradation ladder for the reference horizon T*. ---------
+        let lb = r.instance.bottleneck_lower_bound().max(r.instance.volume_lower_bound());
+        let pairs = finite_pairs(&r.instance);
+        let (tier, t_star, t_greedy) = if deadline_overrun {
+            // Exercise the real deadline path once — an already-expired
+            // deadline must fail fast at the solve entry — then skip
+            // every LP probe of this epoch.
+            let expired = SolveBudget {
+                max_pivots: self.cfg.budget,
+                deadline: Some(std::time::Instant::now()),
+            };
+            if !r_specs.is_empty() {
+                let lp = feasibility_lp(&r.instance, &pairs, t_epoch);
+                let res = lp.solve_budgeted(&mut self.cache, &expired);
+                debug_assert!(matches!(res, Err(BudgetError::DeadlineExpired)));
+                if res.is_err() {
+                    self.report.budget_exhaustions += 1;
+                }
+            }
+            let greedy = if r_specs.is_empty() { 0 } else { greedy_hierarchical(&r.instance).t };
+            (Tier::Degraded, lb.min(t_epoch), Some(greedy))
+        } else if r_specs.is_empty() {
+            (Tier::Warm, 0, None)
+        } else {
+            match self.tstar_warm(&r.instance, &pairs, lb.min(t_epoch), t_epoch) {
+                Ok(t) => (Tier::Warm, t, None),
+                Err(_) => {
+                    self.report.budget_exhaustions += 1;
+                    (
+                        Tier::Cold,
+                        self.tstar_cold(&r.instance, &pairs, lb.min(t_epoch), t_epoch),
+                        None,
+                    )
+                }
+            }
+        };
+        match tier {
+            Tier::Warm => self.report.epochs_tier1 += 1,
+            Tier::Cold => self.report.epochs_tier2 += 1,
+            Tier::Degraded => self.report.epochs_tier3 += 1,
+        }
+
+        // --- Bounded rebalance after departures. ----------------------
+        if is_departure && self.cfg.rebalance && !r_specs.is_empty() {
+            let cap = m_h.saturating_sub(1);
+            let mut moves = 0usize;
+            while moves < cap && t_epoch > 2 * t_star {
+                let mut best: Option<(u64, usize, usize)> = None;
+                for rj in 0..rmask.len() {
+                    let cur = rmask[rj];
+                    for a in 0..fam_r.len() {
+                        if a == cur || r.instance.ptime(rj, a).is_none() {
+                            continue;
+                        }
+                        let mut cand = rmask.clone();
+                        cand[rj] = a;
+                        let t = horizon(&cand);
+                        if t < t_epoch && best.is_none_or(|(bt, bj, ba)| (t, rj, a) < (bt, bj, ba))
+                        {
+                            best = Some((t, rj, a));
+                        }
+                    }
+                }
+                let Some((t, rj, a)) = best else { break };
+                rmask[rj] = a;
+                t_epoch = t;
+                moves += 1;
+            }
+            moved += moves;
+        }
+
+        // --- Per-event reassignment bounds (the paper's online story:
+        // arrivals move no existing job beyond m_h − 1, departures stay
+        // within 2 m_h − 2; failures/recoveries are recorded only). ----
+        self.report.reassignments += moved;
+        if is_arrival {
+            self.report.max_arrival_moves = self.report.max_arrival_moves.max(moved);
+            let bound = m_h.saturating_sub(1);
+            if moved > bound {
+                return Err(ServiceError::MoveBound { event: event_index, got: moved, bound });
+            }
+        }
+        if is_departure {
+            self.report.max_departure_moves = self.report.max_departure_moves.max(moved);
+            let bound = (2 * m_h).saturating_sub(2);
+            if moved > bound {
+                return Err(ServiceError::MoveBound { event: event_index, got: moved, bound });
+            }
+        }
+
+        // --- Schedule, validate, replay, ledger. ----------------------
+        let assignment = Assignment::new(rmask.clone());
+        let t_q = Q::from(t_epoch);
+        let schedule: Schedule =
+            schedule_hierarchical(&r.instance, &assignment, &t_q).map_err(ServiceError::Hier)?;
+        schedule.validate(&r.instance, &assignment, &t_q).map_err(ServiceError::Invalid)?;
+        let replay = simulate(&schedule, r.instance.num_machines()).map_err(ServiceError::Sim)?;
+        if replay.makespan > t_q {
+            return Err(ServiceError::MakespanExceedsHorizon { event: event_index });
+        }
+
+        let split = schedule.split_migrations();
+        let total = schedule.disruptions().total();
+        self.report.max_split_migrations = self.report.max_split_migrations.max(split);
+        self.report.max_disruption_total = self.report.max_disruption_total.max(total);
+        if fam_r.max_level() <= 2 {
+            // Proposition III.2 applies to the (restricted) semi-
+            // partitioned shape; deeper hierarchies are recorded only.
+            let split_bound = m_h.saturating_sub(1);
+            if split > split_bound {
+                return Err(ServiceError::SplitBound {
+                    event: event_index,
+                    got: split,
+                    bound: split_bound,
+                });
+            }
+            let total_bound = (2 * m_h).saturating_sub(2);
+            if total > total_bound {
+                return Err(ServiceError::DisruptionBound {
+                    event: event_index,
+                    got: total,
+                    bound: total_bound,
+                });
+            }
+        }
+
+        // --- Commit epoch state (masks back in original indices). -----
+        self.active = r_specs;
+        self.masks = rmask.into_iter().map(|k| r.origin[k]).collect();
+
+        Ok(EpochOutcome {
+            event_index,
+            tier,
+            t_epoch,
+            t_star,
+            t_greedy,
+            moved,
+            quarantined_now: self.quarantined.len(),
+            split_migrations: split,
+            disruptions_total: total,
+        })
+    }
+}
+
+/// Drive a whole event stream through a fresh [`Scheduler`], injecting
+/// faults per `plan`, and return the final report. Any `Err` is an
+/// invariant violation — graceful degradation never errors.
+pub fn run(
+    cfg: ServiceConfig,
+    events: &[Event],
+    plan: &FaultPlan,
+) -> Result<ServiceReport, ServiceError> {
+    let mut s = Scheduler::new(cfg);
+    for (i, ev) in events.iter().enumerate() {
+        s.apply(ev, plan.fault_at(i))?;
+    }
+    Ok(s.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64, base: u64) -> JobSpec {
+        JobSpec { id, base, pinned: None }
+    }
+
+    fn pinned(id: u64, base: u64, machine: usize) -> JobSpec {
+        JobSpec { id, base, pinned: Some(machine) }
+    }
+
+    #[test]
+    fn arrivals_never_move_existing_jobs() {
+        let mut s = Scheduler::new(ServiceConfig::semi_partitioned(3));
+        for id in 0..8 {
+            let o = s.apply(&Event::Arrive(spec(id, 3 + id % 4)), None).unwrap();
+            assert_eq!(o.moved, 0, "arrivals place only the newcomer");
+            assert_eq!(o.tier, Tier::Warm);
+            assert!(o.t_star <= o.t_epoch);
+        }
+        assert_eq!(s.report().arrivals, 8);
+        assert_eq!(s.report().reassignments, 0);
+    }
+
+    #[test]
+    fn failure_displaces_and_recovery_readmits_pinned_jobs() {
+        let mut s = Scheduler::new(ServiceConfig::semi_partitioned(3));
+        s.apply(&Event::Arrive(pinned(0, 4, 1)), None).unwrap();
+        s.apply(&Event::Arrive(spec(1, 5)), None).unwrap();
+        // semi_partitioned(3): set index 2 is the singleton {1}.
+        let o = s.apply(&Event::MachineFail(2), None).unwrap();
+        assert_eq!(o.quarantined_now, 1, "pinned job has nowhere to run");
+        assert_eq!(s.active_jobs().len(), 1);
+        assert!(!s.healthy().contains(1));
+        let o = s.apply(&Event::MachineRecover(2), None).unwrap();
+        assert_eq!(o.quarantined_now, 0, "recovery readmits the pinned job");
+        let r = s.report();
+        assert_eq!((r.quarantine_entries, r.readmissions, r.quarantine_peak), (1, 1, 1));
+        assert_eq!(r.final_active, 2);
+    }
+
+    #[test]
+    fn blackout_quarantines_everything_and_service_survives() {
+        let mut s = Scheduler::new(ServiceConfig::semi_partitioned(2));
+        s.apply(&Event::Arrive(spec(0, 3)), None).unwrap();
+        s.apply(&Event::Arrive(spec(1, 4)), None).unwrap();
+        // Fail both singletons: {0} is set 1, {1} is set 2. The root
+        // {0,1} fails with the second singleton's machines gone.
+        s.apply(&Event::MachineFail(1), None).unwrap();
+        let o = s.apply(&Event::MachineFail(2), None).unwrap();
+        assert_eq!(o.tier, Tier::Degraded);
+        assert_eq!(o.quarantined_now, 2);
+        assert_eq!(o.t_epoch, 0);
+        // Another arrival during the blackout is quarantined too.
+        let o = s.apply(&Event::Arrive(spec(2, 2)), None).unwrap();
+        assert_eq!(o.quarantined_now, 3);
+        // Full recovery readmits everyone.
+        s.apply(&Event::MachineRecover(1), None).unwrap();
+        let o = s.apply(&Event::MachineRecover(2), None).unwrap();
+        assert_eq!(o.quarantined_now, 0);
+        assert_eq!(s.report().final_active, 3);
+    }
+
+    #[test]
+    fn deadline_overrun_degrades_with_greedy_reference() {
+        let mut s = Scheduler::new(ServiceConfig::semi_partitioned(3));
+        s.apply(&Event::Arrive(spec(0, 6)), None).unwrap();
+        let o = s.apply(&Event::Arrive(spec(1, 6)), Some(SolverFault::DeadlineOverrun)).unwrap();
+        assert_eq!(o.tier, Tier::Degraded);
+        let greedy = o.t_greedy.expect("degraded epochs carry the greedy reference");
+        assert!(o.t_star <= o.t_epoch, "the combinatorial bound never exceeds the horizon");
+        assert!(greedy >= 1, "greedy produced a real horizon as the quality reference");
+        let r = s.report();
+        assert_eq!(r.deadline_faults, 1);
+        assert_eq!(r.epochs_tier3, 1);
+        assert_eq!(r.budget_exhaustions, 1, "the expired deadline tripped at solve entry");
+    }
+
+    #[test]
+    fn zero_budget_falls_back_cold_with_identical_t_star() {
+        let mk = |budget| {
+            let mut cfg = ServiceConfig::semi_partitioned(3);
+            cfg.budget = budget;
+            Scheduler::new(cfg)
+        };
+        let mut warm = mk(None);
+        let mut broke = mk(Some(0));
+        for id in 0..6 {
+            let ev = Event::Arrive(spec(id, 2 + id));
+            let a = warm.apply(&ev, None).unwrap();
+            let b = broke.apply(&ev, None).unwrap();
+            assert_eq!(a.t_star, b.t_star, "ladder rungs certify the same T*");
+            assert_eq!(a.t_epoch, b.t_epoch);
+            assert_eq!(a.tier, Tier::Warm);
+            // The fresh cache's first cold solve is uncapped and epochs
+            // with lb == ub probe nothing, so not every epoch trips the
+            // zero budget — but any epoch that needs a warm pivot must.
+            assert_ne!(b.tier, Tier::Degraded);
+        }
+        let r = broke.report();
+        assert!(r.budget_exhaustions >= 1, "a zero pivot budget trips at least once");
+        assert_eq!(r.epochs_tier2, r.budget_exhaustions);
+        assert_eq!(r.epochs_tier1 + r.epochs_tier2, 6);
+    }
+}

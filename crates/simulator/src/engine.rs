@@ -10,6 +10,7 @@ use crate::report::{SimReport, TraceEvent, TraceEventKind};
 
 /// Execution faults the simulator detects (independently of the analytic
 /// validator in `hsched-core`).
+#[non_exhaustive]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SimError {
     /// A segment refers to a machine outside `0..num_machines`.

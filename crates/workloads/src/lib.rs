@@ -11,6 +11,7 @@
 //! EXPERIMENTS.md is reproducible from its seed.
 
 pub mod memory;
+pub mod online;
 pub mod paper;
 pub mod random;
 

@@ -1,0 +1,270 @@
+//! Deterministic online event streams and fault plans for the scheduler
+//! service: seeded arrival/departure traffic, machine failures over
+//! laminar subtrees, and per-epoch solver faults.
+//!
+//! Everything here is a pure function of the seed — the service crate's
+//! golden tests and `harness e15` pin exact counters against these
+//! streams, so the generation order below must never change silently.
+
+use laminar::{LaminarFamily, MachineSet};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A job as the online service sees it arrive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Stream-unique id (never reused within one stream).
+    pub id: u64,
+    /// Base demand on a singleton machine set; larger sets pay the
+    /// migration-overhead surcharge of the paper's cost model.
+    pub base: u64,
+    /// `Some(i)`: the job runs on machine `i` only (finite time on the
+    /// singleton `{i}`, ∞ everywhere else — monotone, since ∞ on
+    /// supersets is legal). Pinned jobs make the capacity quarantine
+    /// reachable: when machine `i` fails they cannot run anywhere.
+    pub pinned: Option<usize>,
+}
+
+/// One step of the online stream. Machine events name a *family set
+/// index* (a laminar subtree), not a single machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A new job enters the system.
+    Arrive(JobSpec),
+    /// The job with this id leaves.
+    Depart(u64),
+    /// Every machine of family set `a` goes down.
+    MachineFail(usize),
+    /// Every machine of family set `a` comes back.
+    MachineRecover(usize),
+}
+
+/// Solver faults a [`FaultPlan`] can inject at an epoch. Each one must
+/// be absorbed by a counted fallback in the degradation ladder — never
+/// a panic, never a silently wrong answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverFault {
+    /// Corrupt the warm cache's basis hint before the epoch's solves.
+    PoisonWarmHint,
+    /// Force the next hybrid float-certification to fail, pushing the
+    /// solve onto the exact path.
+    ForceCertFailure,
+    /// The epoch's deadline has already expired when the solve starts:
+    /// budgeted tiers are skipped straight to the greedy baseline.
+    DeadlineOverrun,
+}
+
+/// A seeded per-event fault schedule: `fault_at(i)` is the fault (if
+/// any) injected while processing event `i`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Option<SolverFault>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Inject a fault at each of `events` epochs independently with
+    /// probability `rate_pct`%, picking the fault kind uniformly.
+    pub fn seeded(events: usize, rate_pct: u32, rng: &mut StdRng) -> Self {
+        assert!(rate_pct <= 100, "rate_pct is a percentage");
+        let faults = (0..events)
+            .map(|_| {
+                (rng.gen_range(0u32..100) < rate_pct).then(|| match rng.gen_range(0u32..3) {
+                    0 => SolverFault::PoisonWarmHint,
+                    1 => SolverFault::ForceCertFailure,
+                    _ => SolverFault::DeadlineOverrun,
+                })
+            })
+            .collect();
+        FaultPlan { faults }
+    }
+
+    /// A handwritten schedule: `faults[i]` is injected at event `i`.
+    pub fn from_faults(faults: Vec<Option<SolverFault>>) -> Self {
+        FaultPlan { faults }
+    }
+
+    /// The fault injected at event index `i`, if any (indices past the
+    /// planned horizon are fault-free).
+    pub fn fault_at(&self, i: usize) -> Option<SolverFault> {
+        self.faults.get(i).copied().flatten()
+    }
+
+    /// Total number of faults the plan injects.
+    pub fn injected(&self) -> usize {
+        self.faults.iter().flatten().count()
+    }
+}
+
+/// Shape of a generated event stream. The three percentages partition
+/// `0..100`: rolls below `arrive_pct` arrive a job, the next
+/// `depart_pct` depart one, the next `fail_pct` fail a subtree, and the
+/// remainder recover one. Infeasible draws (departing with no live
+/// jobs, recovering with nothing failed, failing when no legal
+/// candidate exists) fall back to an arrival, so the stream always has
+/// exactly `events` entries.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Number of events to generate.
+    pub events: usize,
+    /// Percentage of rolls that arrive a new job.
+    pub arrive_pct: u32,
+    /// Percentage of rolls that depart a random live job.
+    pub depart_pct: u32,
+    /// Percentage of rolls that fail a random healthy subtree.
+    pub fail_pct: u32,
+    /// Percentage of arrivals pinned to one random machine.
+    pub pin_pct: u32,
+    /// Inclusive base-demand range for arriving jobs.
+    pub base_lo: u64,
+    /// Inclusive upper end of the base-demand range.
+    pub base_hi: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            events: 100,
+            arrive_pct: 50,
+            depart_pct: 30,
+            fail_pct: 10,
+            pin_pct: 15,
+            base_lo: 1,
+            base_hi: 20,
+        }
+    }
+}
+
+/// Generate a deterministic event stream over `family`.
+///
+/// The generator tracks live job ids and the set of currently-failed
+/// family sets. A set may fail only if it is still fully healthy
+/// (disjoint from every current failure — so `MachineRecover(a)`
+/// unambiguously restores exactly `family.set(a)`) and its loss leaves
+/// at least one healthy machine.
+pub fn event_stream(family: &LaminarFamily, cfg: &StreamConfig, rng: &mut StdRng) -> Vec<Event> {
+    assert!(
+        cfg.arrive_pct + cfg.depart_pct + cfg.fail_pct <= 100,
+        "event percentages must fit in 100"
+    );
+    assert!(cfg.base_lo >= 1 && cfg.base_lo <= cfg.base_hi, "base range must be nonempty and ≥ 1");
+    let m = family.num_machines();
+    let mut healthy = MachineSet::full(m);
+    let mut failed: Vec<usize> = Vec::new();
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut out = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let roll = rng.gen_range(0u32..100);
+        let depart_band = cfg.arrive_pct + cfg.depart_pct;
+        let fail_band = depart_band + cfg.fail_pct;
+
+        if roll >= cfg.arrive_pct && roll < depart_band && !live.is_empty() {
+            let k = rng.gen_range(0..live.len());
+            out.push(Event::Depart(live.swap_remove(k)));
+            continue;
+        }
+        if roll >= depart_band && roll < fail_band {
+            let candidates: Vec<usize> = (0..family.len())
+                .filter(|&a| {
+                    let s = family.set(a);
+                    s.is_subset(&healthy) && !healthy.difference(s).is_empty()
+                })
+                .collect();
+            if !candidates.is_empty() {
+                let a = candidates[rng.gen_range(0..candidates.len())];
+                healthy = healthy.difference(family.set(a));
+                failed.push(a);
+                out.push(Event::MachineFail(a));
+                continue;
+            }
+        }
+        if roll >= fail_band && !failed.is_empty() {
+            let k = rng.gen_range(0..failed.len());
+            let a = failed.swap_remove(k);
+            healthy = healthy.union(family.set(a));
+            out.push(Event::MachineRecover(a));
+            continue;
+        }
+
+        // Arrival band, plus the fallback for every infeasible draw.
+        let pinned = (rng.gen_range(0u32..100) < cfg.pin_pct).then(|| rng.gen_range(0..m));
+        let base = rng.gen_range(cfg.base_lo..=cfg.base_hi);
+        let spec = JobSpec { id: next_id, base, pinned };
+        next_id += 1;
+        live.push(spec.id);
+        out.push(Event::Arrive(spec));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use laminar::topology;
+
+    #[test]
+    fn stream_is_deterministic_and_well_formed() {
+        let family = topology::semi_partitioned(4);
+        let cfg = StreamConfig { events: 200, ..StreamConfig::default() };
+        let a = event_stream(&family, &cfg, &mut rng(42));
+        let b = event_stream(&family, &cfg, &mut rng(42));
+        assert_eq!(a, b, "same seed must give the same stream");
+        assert_eq!(a.len(), 200);
+
+        // Replay: departs name live jobs, fails/recovers are coherent.
+        let mut live = std::collections::HashSet::new();
+        let mut failed = std::collections::HashSet::new();
+        let mut healthy = MachineSet::full(family.num_machines());
+        for ev in &a {
+            match *ev {
+                Event::Arrive(spec) => {
+                    assert!(live.insert(spec.id), "job ids are stream-unique");
+                    assert!(spec.base >= 1);
+                }
+                Event::Depart(id) => assert!(live.remove(&id), "depart names a live job"),
+                Event::MachineFail(s) => {
+                    assert!(failed.insert(s), "a failed set cannot fail again");
+                    assert!(family.set(s).is_subset(&healthy), "only healthy subtrees fail");
+                    healthy = healthy.difference(family.set(s));
+                    assert!(!healthy.is_empty(), "at least one machine stays healthy");
+                }
+                Event::MachineRecover(s) => {
+                    assert!(failed.remove(&s), "recover names a failed set");
+                    healthy = healthy.union(family.set(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_heavy_stream_has_failures() {
+        let family = topology::semi_partitioned(5);
+        let cfg = StreamConfig {
+            events: 120,
+            arrive_pct: 45,
+            depart_pct: 25,
+            fail_pct: 20,
+            ..StreamConfig::default()
+        };
+        let events = event_stream(&family, &cfg, &mut rng(7));
+        let failures = events.iter().filter(|e| matches!(e, Event::MachineFail(_))).count();
+        assert!(failures >= 3, "fault-heavy config produced only {failures} failures");
+    }
+
+    #[test]
+    fn fault_plan_is_seeded_and_counted() {
+        let a = FaultPlan::seeded(300, 25, &mut rng(9));
+        let b = FaultPlan::seeded(300, 25, &mut rng(9));
+        assert_eq!(a.injected(), b.injected());
+        assert!((0..300).all(|i| a.fault_at(i) == b.fault_at(i)));
+        assert!(a.injected() > 0, "25% over 300 events injects something");
+        assert_eq!(a.fault_at(300), None, "past the horizon is fault-free");
+        assert_eq!(FaultPlan::none().injected(), 0);
+    }
+}

@@ -15,14 +15,49 @@
 //! * [`numeric`] — arbitrary-precision integers and rationals;
 //! * [`baselines`] — McNaughton, partitioned, semi-partitioned and
 //!   greedy baselines;
-//! * [`workloads`] — seeded generators (paper examples included);
-//! * [`simulator`] — discrete-event schedule execution.
+//! * [`workloads`] — seeded generators (paper examples and online event
+//!   streams / fault plans included);
+//! * [`simulator`] — discrete-event schedule execution;
+//! * [`service`] — the online scheduler service: event-driven epochs
+//!   with fault injection, solve budgets, a graceful-degradation
+//!   ladder, and per-event invariant enforcement.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! See `examples/quickstart.rs` for a five-minute tour, or import
+//! [`prelude`] to get the common types in one line.
 pub use baselines;
 pub use hsched_core as core;
 pub use laminar;
 pub use lp;
 pub use numeric;
+pub use service;
 pub use simulator;
 pub use workloads;
+
+/// The types most programs need, in one import:
+/// `use hier_sched::prelude::*;`.
+///
+/// Covers the model (instances, assignments, schedules), the paper's
+/// schedulers, the LP layer, the simulator, and the online service —
+/// including every public error enum (`InstanceError`, `PlaceError`,
+/// `ScheduleError`, `HierError`, `SimError`, `ServiceError`; all
+/// `#[non_exhaustive]` where they may still grow).
+pub mod prelude {
+    pub use baselines::greedy::{greedy_hierarchical, GreedyResult};
+    pub use hsched_core::hier::{schedule_hierarchical, HierError};
+    pub use hsched_core::semi::schedule_semi_partitioned;
+    pub use hsched_core::{
+        Assignment, Instance, InstanceError, PlaceError, RestrictedInstance, Schedule,
+        ScheduleError, Segment,
+    };
+    pub use laminar::{topology, LaminarFamily, MachineSet};
+    pub use lp::{
+        BudgetError, LinearProgram, LpSolution, LpStatus, Relation, SolveBudget, Solver, WarmCache,
+    };
+    pub use numeric::Q;
+    pub use service::{
+        event_stream, run as run_service, Event, FaultPlan, JobSpec, Scheduler, ServiceConfig,
+        ServiceError, ServiceReport, SolverFault, StreamConfig, Tier,
+    };
+    pub use simulator::{simulate, SimError, SimReport};
+    pub use workloads::rng;
+}
