@@ -1,4 +1,4 @@
-//! The experiment harness: regenerates every evaluation table (E1–E15).
+//! The experiment harness: regenerates every evaluation table (E1–E16).
 //!
 //! Usage:
 //!   cargo run --release -p bench --bin harness                 # all, text
@@ -102,8 +102,11 @@ fn main() {
     if want("e15") {
         reports.push(ex::e15());
     }
+    if want("e16") {
+        reports.push(ex::e16());
+    }
     if reports.is_empty() {
-        eprintln!("unknown experiment id; use e1..e15 or all");
+        eprintln!("unknown experiment id; use e1..e16 or all");
         std::process::exit(2);
     }
 

@@ -1069,6 +1069,7 @@ pub fn e15_with(budget: Duration) -> Report {
         "max move",
         "max disrupt",
         "quarantine",
+        "lat ms 50/95/max",
         "ev/s",
     ]);
     let family = topology::semi_partitioned(E15_M);
@@ -1124,6 +1125,7 @@ pub fn e15_with(budget: Duration) -> Report {
                 report.max_arrival_moves.max(report.max_departure_moves).to_string(),
                 report.max_disruption_total.to_string(),
                 format!("{}·peak{}", report.quarantine_entries, report.quarantine_peak),
+                report.latency.render_ms(),
                 format!("{:.0}", report.events as f64 / elapsed.as_secs_f64().max(1e-9)),
             ]);
             row_id += 1;
@@ -1152,6 +1154,147 @@ pub fn e15_with(budget: Duration) -> Report {
         "injected faults (poisoned warm hints, forced certification failures, deadline \
          overruns) change counters only — certified horizons are tier-invariant, asserted in \
          crates/service/tests/online.rs",
+    );
+    if truncated {
+        r = r.note(format!(
+            "NOTE: sweep truncated at the {budget:?} wall-clock budget after {:?}",
+            start.elapsed()
+        ));
+    }
+    r
+}
+
+/// Default wall-clock budget for a full E16 run.
+pub const E16_DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// Machines in the E16 service topology (`semi_partitioned`).
+pub const E16_M: usize = 5;
+
+/// Events per E16 service run.
+pub const E16_EVENTS: usize = 120;
+
+/// Kill counts swept by E16 (each kill truncates the journal at a
+/// seeded arbitrary byte offset).
+pub const E16_KILLS: [usize; 3] = [1, 3, 6];
+
+/// Solver-fault injection rates swept by E16 (percent per event).
+pub const E16_FAULT_RATES: [u32; 2] = [0, 25];
+
+/// Checkpoint cadence (events per checkpoint) for the E16 runs.
+pub const E16_CHECKPOINT_EVERY: usize = 16;
+
+/// E16 — crash-point sweep of the durable service: seeded event
+/// streams × crash plans (kills at arbitrary journal byte offsets —
+/// mid-record, mid-epoch, mid-checkpoint) × solver-fault rates, each
+/// run recovered from its torn journal and asserted **bit-identical**
+/// (full `ServiceReport` and per-event outcome sequence) to the
+/// uninterrupted run. A divergence aborts the harness.
+pub fn e16() -> Report {
+    e16_with(E16_DEFAULT_BUDGET)
+}
+
+/// [`e16`] under an explicit wall-clock budget: remaining sweep rows
+/// are skipped — recording how much was covered — once the budget is
+/// spent.
+pub fn e16_with(budget: Duration) -> Report {
+    let start = Instant::now();
+    let mut t = Table::new(&[
+        "faults%",
+        "kills",
+        "crashes",
+        "replayed",
+        "ckpts",
+        "journal B",
+        "equal",
+        "lat ms 50/95/max",
+        "ev/s",
+    ]);
+    let family = topology::semi_partitioned(E16_M);
+    let cfg = service::ServiceConfig::semi_partitioned(E16_M);
+    let mut truncated = false;
+    let mut row_id = 0u64;
+    'sweep: for rate in E16_FAULT_RATES {
+        for kills in E16_KILLS {
+            if start.elapsed() > budget {
+                truncated = true;
+                break 'sweep;
+            }
+            let stream_cfg = service::StreamConfig {
+                events: E16_EVENTS,
+                arrive_pct: 45,
+                depart_pct: 25,
+                fail_pct: 20,
+                ..service::StreamConfig::default()
+            };
+            let events = service::event_stream(&family, &stream_cfg, &mut rng(1700 + row_id));
+            let plan = service::FaultPlan::seeded(E16_EVENTS, rate, &mut rng(1800 + row_id));
+            let crash = service::CrashPlan::seeded(kills, E16_EVENTS, &mut rng(1900 + row_id));
+
+            let baseline = service::run_with_crashes(
+                &cfg,
+                &events,
+                &plan,
+                &service::CrashPlan::none(),
+                E16_CHECKPOINT_EVERY,
+            )
+            .unwrap_or_else(|e| panic!("E16 baseline row {row_id} failed: {e}"));
+            let t0 = Instant::now();
+            let soak =
+                service::run_with_crashes(&cfg, &events, &plan, &crash, E16_CHECKPOINT_EVERY)
+                    .unwrap_or_else(|e| panic!("E16 recovery in row {row_id} failed: {e}"));
+            let elapsed = t0.elapsed();
+
+            // The acceptance criterion: recovery is bit-identical to
+            // the uninterrupted run — report and per-event outcomes.
+            assert_eq!(
+                soak.report, baseline.report,
+                "E16 row {row_id}: recovered report diverged from the uninterrupted run"
+            );
+            assert_eq!(
+                soak.outcomes, baseline.outcomes,
+                "E16 row {row_id}: recovered outcomes (incl. certified T*) diverged"
+            );
+            assert_eq!(soak.crashes, kills, "every planned kill must fire");
+
+            t.row(vec![
+                rate.to_string(),
+                kills.to_string(),
+                soak.crashes.to_string(),
+                soak.replayed_events.to_string(),
+                soak.checkpoints_written.to_string(),
+                soak.journal_bytes.to_string(),
+                "✓ bit-identical".into(),
+                soak.report.latency.render_ms(),
+                format!("{:.0}", E16_EVENTS as f64 / elapsed.as_secs_f64().max(1e-9)),
+            ]);
+            row_id += 1;
+        }
+    }
+
+    let mut r = Report::new(
+        "e16",
+        "Crash-consistent durability: journal + checkpoint/restore under a \
+         seeded crash-point sweep, recovery asserted bit-identical",
+        t,
+    )
+    .seeds(format!(
+        "streams over semi_partitioned({E16_M}), {E16_EVENTS} events (45/25/20 mix), stream \
+         seed = 1700 + row, fault-plan seed = 1800 + row, crash-plan seed = 1900 + row, rows in \
+         rate-major order over fault rates {E16_FAULT_RATES:?} × kills {E16_KILLS:?}, \
+         checkpoint every {E16_CHECKPOINT_EVERY} events"
+    ))
+    .note(
+        "each kill truncates the journal at a seeded arbitrary byte offset (mid-record, \
+         mid-epoch between an event and its outcome, or mid-checkpoint), recovers the longest \
+         valid prefix, restores the last intact checkpoint, and replays the tail cross-checking \
+         every journaled outcome digest; the recovered run's ServiceReport and per-event \
+         outcome sequence are asserted equal to the uninterrupted run's — a divergence aborts \
+         the harness",
+    )
+    .note(
+        "replayed counts events re-ingested from journal tails across all recoveries; the \
+         warm cache is never serialized — its state is epoch-local, which is what makes the \
+         replay bit-exact (see crates/service/src/journal.rs)",
     );
     if truncated {
         r = r.note(format!(
@@ -1315,6 +1458,34 @@ mod tests {
         let s = e15_with(Duration::from_secs(300)).render_text();
         assert!(s.contains("tiers 1/2/3"));
         assert!(s.contains("60/25/5"));
+    }
+
+    /// E16 config lock: the crash sweep must stay inside the budget
+    /// regime that keeps `harness all` terminating in minutes, and the
+    /// wall-clock budget must actually truncate the sweep.
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // config locks are the point
+    fn e16_configuration_stays_under_budget() {
+        assert!(E16_DEFAULT_BUDGET <= Duration::from_secs(60), "harness-all scale budget");
+        assert!(E16_M <= 8 && E16_EVENTS <= 256, "durable runs must stay seconds-scale");
+        assert!(E16_KILLS.iter().all(|&k| k <= 8), "crash counts must stay seconds-scale");
+        assert!(E16_FAULT_RATES[0] == 0, "the fault-free pass is the recovery reference");
+        assert!(E16_CHECKPOINT_EVERY > 0, "the sweep must exercise periodic checkpoints");
+        // A zero budget truncates immediately (and says so).
+        let start = Instant::now();
+        let r = e16_with(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_secs(30), "budget not enforced");
+        assert!(r.render_text().contains("truncated"), "truncation must be recorded");
+    }
+
+    /// One real E16 sweep row end to end: a crashed-and-recovered run is
+    /// bit-identical to the uninterrupted run (enforced inside
+    /// `e16_with`, which aborts on any divergence).
+    #[test]
+    fn e16_smoke() {
+        let s = e16_with(Duration::from_secs(300)).render_text();
+        assert!(s.contains("bit-identical"));
+        assert!(s.contains("journal B"));
     }
 
     #[test]

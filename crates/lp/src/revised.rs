@@ -321,6 +321,25 @@ impl WarmCache {
         &self.per_worker_fallbacks
     }
 
+    /// Drop the warm state (basis hint + cached factorization) while
+    /// keeping every counter. The next solve through this cache runs
+    /// cold, exactly as a freshly-constructed cache would.
+    ///
+    /// This is the durability contract of the warm state: bases and
+    /// factorizations are **rebuilt, never serialized**. An exact LU
+    /// factorization holds big-rational multipliers whose encoded size
+    /// is unbounded and whose value is transient — one cold solve
+    /// recreates it bit-for-bit — so persisting it would couple an
+    /// on-disk format to `Factorization` internals for no recovery
+    /// benefit. Callers that need crash-equivalent replay (the service
+    /// crate's epoch loop) instead scope the warm state to a replayable
+    /// unit by calling this at each unit's start, which makes every
+    /// solver counter delta a pure function of that unit alone.
+    pub fn reset_warm_state(&mut self) {
+        self.hint.clear();
+        self.reuse = None;
+    }
+
     /// Fault-injection hook: corrupt the cached warm state so the next
     /// warm solve sees a stale hint. The poisoned hint fails the sanity
     /// screen (out-of-range columns), so the solve takes the *counted*
@@ -1908,5 +1927,28 @@ mod tests {
         let sol = lp.solve_budgeted(&mut cache, &SolveBudget::pivots(1_000)).unwrap();
         assert_eq!(cache.warm_fallbacks(), 2);
         assert_eq!(sol.objective_value, first.objective_value);
+    }
+
+    /// `reset_warm_state` drops hint + factorization but keeps counters:
+    /// the next solve runs cold (no stale-hint fallback) and behaves
+    /// exactly like a fresh cache's first solve.
+    #[test]
+    fn reset_warm_state_runs_cold_and_keeps_counters() {
+        let mut lp = LinearProgram::new(1);
+        lp.set_objective(0, q(1));
+        lp.add_constraint(vec![(0, q(1))], R::Ge, q(3));
+        let mut cache = WarmCache::new();
+        let first = lp.solve_warm_cached(&mut cache);
+        assert!(cache.is_warm());
+        cache.poison_hint();
+        lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.warm_fallbacks(), 1);
+        cache.reset_warm_state();
+        assert!(!cache.is_warm(), "reset caches solve cold, like a fresh cache");
+        let sol = lp.solve_warm_cached(&mut cache);
+        assert_eq!(cache.warm_fallbacks(), 1, "a cold solve is not a counted fallback");
+        assert_eq!(sol.status, first.status);
+        assert_eq!(sol.objective_value, first.objective_value);
+        assert!(cache.is_warm(), "the cold solve re-warms the cache");
     }
 }

@@ -1,0 +1,248 @@
+//! Hardened ingest: validation of *untrusted* event streams.
+//!
+//! [`Scheduler::apply`] trusts its input — [`event_stream`] guarantees
+//! stream-unique job ids, in-range set indices, and coherent
+//! failure/recovery order, so the trusted path simply assumes them. A
+//! long-lived service cannot: events may arrive from the network, from
+//! a replayed journal written by an older binary, or from an attacker.
+//! [`Scheduler::ingest`] screens every event against the service's live
+//! state first and turns each malformed one into a typed
+//! [`IngestError`] under a **reject-and-continue** policy: the event is
+//! counted per category in [`ServiceReport`], no epoch opens, and no
+//! state changes — a poisoned stream degrades the service instead of
+//! panicking it.
+//!
+//! Deliberately *not* rejected: a failure that takes down every healthy
+//! machine. A total blackout is a legal (if catastrophic) state the
+//! epoch loop already absorbs via the quarantine + degraded tier, so
+//! refusing it would turn a survivable condition into a dropped event.
+//!
+//! [`event_stream`]: crate::event_stream
+
+use crate::{
+    EpochOutcome, Event, FaultPlan, Scheduler, ServiceConfig, ServiceError, ServiceReport,
+};
+use workloads::online::SolverFault;
+
+/// Why the hardened ingest rejected an event. Every variant names the
+/// offending identifier so operators can trace the poisoned producer.
+#[non_exhaustive]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// An arrival reused the id of a job the service still knows
+    /// (active or quarantined). Ids of *departed* jobs may be reused —
+    /// the service keeps no tombstones, by design (unbounded id history
+    /// would have to be checkpointed forever).
+    DuplicateJobId {
+        /// The reused id.
+        id: u64,
+    },
+    /// A departure named a job id the service does not know.
+    UnknownJobId {
+        /// The unknown id.
+        id: u64,
+    },
+    /// An arrival carried a zero base demand (the schedule model
+    /// requires positive processing times).
+    ZeroSizeJob {
+        /// The offending job's id.
+        id: u64,
+    },
+    /// An arrival was pinned to a machine index outside the topology.
+    PinOutOfRange {
+        /// The offending job's id.
+        id: u64,
+        /// The requested machine.
+        machine: usize,
+        /// The number of machines in the family.
+        machines: usize,
+    },
+    /// A failure/recovery named a set index outside the laminar family.
+    UnknownSet {
+        /// The requested set index.
+        set: usize,
+        /// The number of sets in the family.
+        sets: usize,
+    },
+    /// A failure named a subtree that is not fully healthy (it overlaps
+    /// an existing failure) — out of coherence order, and accepting it
+    /// would make the matching recovery ambiguous.
+    NotFullyHealthy {
+        /// The requested set index.
+        set: usize,
+    },
+    /// A recovery named a subtree that is not currently failed.
+    NotFailed {
+        /// The requested set index.
+        set: usize,
+    },
+}
+
+impl IngestError {
+    /// Stable one-byte category code, used by the journal's rejection
+    /// records (recovery cross-checks the replayed rejection against
+    /// it). Appending new categories is fine; renumbering is a journal
+    /// format break.
+    pub(crate) fn code(&self) -> u8 {
+        match self {
+            IngestError::DuplicateJobId { .. } => 0,
+            IngestError::UnknownJobId { .. } => 1,
+            IngestError::ZeroSizeJob { .. } => 2,
+            IngestError::PinOutOfRange { .. } => 3,
+            IngestError::UnknownSet { .. } => 4,
+            IngestError::NotFullyHealthy { .. } => 5,
+            IngestError::NotFailed { .. } => 6,
+        }
+    }
+
+    /// Human-readable category name (the per-category counter it bumps).
+    pub fn category(&self) -> &'static str {
+        match self {
+            IngestError::DuplicateJobId { .. } => "duplicate-id",
+            IngestError::UnknownJobId { .. } => "unknown-job",
+            IngestError::ZeroSizeJob { .. } => "zero-size",
+            IngestError::PinOutOfRange { .. } => "bad-pin",
+            IngestError::UnknownSet { .. } => "unknown-set",
+            IngestError::NotFullyHealthy { .. } | IngestError::NotFailed { .. } => "incoherent",
+        }
+    }
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::DuplicateJobId { id } => {
+                write!(f, "arrival reuses live job id {id}")
+            }
+            IngestError::UnknownJobId { id } => write!(f, "departure of unknown job id {id}"),
+            IngestError::ZeroSizeJob { id } => write!(f, "job {id} has zero base demand"),
+            IngestError::PinOutOfRange { id, machine, machines } => {
+                write!(f, "job {id} pinned to machine {machine} of {machines}")
+            }
+            IngestError::UnknownSet { set, sets } => {
+                write!(f, "machine event names set {set} of {sets}")
+            }
+            IngestError::NotFullyHealthy { set } => {
+                write!(f, "failure of set {set} which overlaps an existing failure")
+            }
+            IngestError::NotFailed { set } => {
+                write!(f, "recovery of set {set} which is not failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What [`Scheduler::ingest`] did with one untrusted event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ingest {
+    /// The event passed validation and ran a full epoch.
+    Applied(EpochOutcome),
+    /// The event was malformed: counted, dropped, no state change.
+    Rejected(IngestError),
+}
+
+impl Scheduler {
+    /// Screen one event against the live state without applying it.
+    /// `Ok(())` means [`Scheduler::apply`] would see a well-formed
+    /// event. Checks run in a fixed order (demand, pin, identity for
+    /// arrivals) so the rejection *category* of a multiply-malformed
+    /// event is deterministic.
+    pub fn validate_event(&self, event: &Event) -> Result<(), IngestError> {
+        let m = self.cfg.family.num_machines();
+        let sets = self.cfg.family.len();
+        let known = |id: u64| self.active.iter().chain(self.quarantined.iter()).any(|s| s.id == id);
+        match *event {
+            Event::Arrive(spec) => {
+                if spec.base == 0 {
+                    return Err(IngestError::ZeroSizeJob { id: spec.id });
+                }
+                if let Some(machine) = spec.pinned {
+                    if machine >= m {
+                        return Err(IngestError::PinOutOfRange {
+                            id: spec.id,
+                            machine,
+                            machines: m,
+                        });
+                    }
+                }
+                if known(spec.id) {
+                    return Err(IngestError::DuplicateJobId { id: spec.id });
+                }
+            }
+            Event::Depart(id) => {
+                if !known(id) {
+                    return Err(IngestError::UnknownJobId { id });
+                }
+            }
+            Event::MachineFail(a) => {
+                if a >= sets {
+                    return Err(IngestError::UnknownSet { set: a, sets });
+                }
+                if !self.cfg.family.set(a).is_subset(&self.healthy) {
+                    return Err(IngestError::NotFullyHealthy { set: a });
+                }
+            }
+            Event::MachineRecover(a) => {
+                if a >= sets {
+                    return Err(IngestError::UnknownSet { set: a, sets });
+                }
+                if !self.failed.contains(&a) {
+                    return Err(IngestError::NotFailed { set: a });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The hardened entry: validate, then either run the epoch
+    /// ([`Scheduler::apply`]) or count the rejection and continue. The
+    /// outer `Err` is still an *invariant violation* of an applied
+    /// epoch — rejections are the `Ok(Ingest::Rejected(_))` fast path
+    /// and never abort the service. Rejected events consume no injected
+    /// fault (no solve happens that could absorb one).
+    pub fn ingest(
+        &mut self,
+        event: &Event,
+        fault: Option<SolverFault>,
+    ) -> Result<Ingest, ServiceError> {
+        match self.validate_event(event) {
+            Ok(()) => self.apply(event, fault).map(Ingest::Applied),
+            Err(e) => {
+                self.count_rejection(&e);
+                Ok(Ingest::Rejected(e))
+            }
+        }
+    }
+
+    pub(crate) fn count_rejection(&mut self, e: &IngestError) {
+        self.report.rejected_events += 1;
+        match e {
+            IngestError::DuplicateJobId { .. } => self.report.rejected_duplicate_id += 1,
+            IngestError::UnknownJobId { .. } => self.report.rejected_unknown_job += 1,
+            IngestError::ZeroSizeJob { .. } => self.report.rejected_zero_size += 1,
+            IngestError::PinOutOfRange { .. } => self.report.rejected_bad_pin += 1,
+            IngestError::UnknownSet { .. } => self.report.rejected_unknown_set += 1,
+            IngestError::NotFullyHealthy { .. } | IngestError::NotFailed { .. } => {
+                self.report.rejected_incoherent += 1
+            }
+        }
+    }
+}
+
+/// [`run`](crate::run) through the hardened path: every event is
+/// validated first; malformed ones are counted in the report's
+/// `rejected_*` fields and skipped. On a well-formed stream this is
+/// behaviourally identical to [`run`](crate::run).
+pub fn run_hardened(
+    cfg: ServiceConfig,
+    events: &[Event],
+    plan: &FaultPlan,
+) -> Result<ServiceReport, ServiceError> {
+    let mut s = Scheduler::new(cfg);
+    for (i, ev) in events.iter().enumerate() {
+        s.ingest(ev, plan.fault_at(i))?;
+    }
+    Ok(s.report())
+}

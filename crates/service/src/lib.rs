@@ -33,6 +33,21 @@
 //! (`≤ m_h − 1` on arrivals, `≤ 2·m_h − 2` on departures). Jobs that
 //! cannot run on any healthy machine sit in a quarantine and are
 //! readmitted on recovery.
+//!
+//! Two robustness layers wrap this loop:
+//!
+//! * **Durability** ([`journal`]) — a versioned, checksummed append-only
+//!   event journal plus canonical checkpoints
+//!   ([`Scheduler::checkpoint`] / [`Scheduler::restore`]). A crash at
+//!   *any* byte offset recovers the longest valid journal prefix and
+//!   replays the tail to a state bit-identical to the uninterrupted
+//!   run. To make that possible the solver's warm state is scoped to a
+//!   single epoch (reset at epoch start, counters folded per epoch):
+//!   the `WarmCache` is rebuilt on restore, never serialized.
+//! * **Hardened ingest** ([`ingest`]) — untrusted event streams are
+//!   validated into typed [`IngestError`] rejections (counted per
+//!   category in [`ServiceReport`]) with a reject-and-continue policy,
+//!   so a poisoned stream degrades the service instead of panicking it.
 
 use baselines::greedy::greedy_hierarchical;
 use hsched_core::hier::{schedule_hierarchical, HierError};
@@ -42,7 +57,18 @@ use lp::{BudgetError, LinearProgram, LpStatus, Relation, SolveBudget, Solver, Wa
 use numeric::Q;
 use simulator::{simulate, SimError};
 
-pub use workloads::online::{event_stream, Event, FaultPlan, JobSpec, SolverFault, StreamConfig};
+pub use workloads::online::{
+    corrupt_stream, event_stream, Event, FaultPlan, JobSpec, SolverFault, StreamConfig,
+};
+
+pub mod ingest;
+pub mod journal;
+
+pub use ingest::{run_hardened, Ingest, IngestError};
+pub use journal::{
+    run_with_crashes, Checkpoint, CrashPlan, CrashPoint, DurableScheduler, JournalError,
+    JournalWriter, RecoveryError, RecoveryInfo, RestoreError, SoakOutcome,
+};
 
 /// Why the service aborted an epoch. Every variant is an *invariant
 /// violation* — graceful degradation (fallbacks, quarantine) never
@@ -126,11 +152,67 @@ pub struct EpochOutcome {
     pub disruptions_total: usize,
 }
 
+/// Per-epoch wall-time percentiles over a service run. Pure
+/// *measurement*: two reports that differ only here describe the same
+/// run, so `LatencyStats` compares equal to everything and prints
+/// opaquely — the golden tests pin report identity, not timing. Use the
+/// accessors (or [`LatencyStats::render_ms`]) to read the numbers.
+#[derive(Clone, Copy, Default)]
+pub struct LatencyStats {
+    /// Epochs measured.
+    pub samples: usize,
+    /// Median epoch wall time, microseconds (nearest-rank).
+    pub p50_us: u64,
+    /// 95th-percentile epoch wall time, microseconds (nearest-rank).
+    pub p95_us: u64,
+    /// Slowest epoch wall time, microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentiles of a set of per-epoch samples.
+    pub fn from_samples_us(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let n = v.len();
+        let rank = |p: usize| v[(p * n).div_ceil(100).max(1) - 1];
+        LatencyStats { samples: n, p50_us: rank(50), p95_us: rank(95), max_us: v[n - 1] }
+    }
+
+    /// `"p50/p95/max"` in milliseconds, the harness-table cell.
+    pub fn render_ms(&self) -> String {
+        let ms = |us: u64| us as f64 / 1000.0;
+        format!("{:.1}/{:.1}/{:.1}", ms(self.p50_us), ms(self.p95_us), ms(self.max_us))
+    }
+}
+
+/// Timing carries no identity: reports that differ only in latency are
+/// the same report (this is what lets crash-recovery equivalence assert
+/// full [`ServiceReport`] equality).
+impl PartialEq for LatencyStats {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for LatencyStats {}
+
+/// Opaque on purpose: the derived [`ServiceReport`] `Debug` output is
+/// pinned bit-for-bit by golden tests, and wall time would drift there.
+impl std::fmt::Debug for LatencyStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyStats(..)")
+    }
+}
+
 /// Cumulative, thread-count-invariant counters for a service run. Every
-/// field is integral and deterministic for a fixed event stream + fault
-/// plan, so goldens can pin the whole struct bit-for-bit. (The one
-/// thread-variant solver statistic, `columns_priced`, is deliberately
-/// not included.)
+/// field except the identity-free [`LatencyStats`] is integral and
+/// deterministic for a fixed event stream + fault plan, so goldens can
+/// pin the whole struct bit-for-bit. (The one thread-variant solver
+/// statistic, `columns_priced`, is deliberately not included.)
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ServiceReport {
     /// Events processed.
@@ -190,6 +272,25 @@ pub struct ServiceReport {
     pub final_active: usize,
     /// Quarantined jobs when the run ended.
     pub final_quarantined: usize,
+    /// Untrusted events rejected by the hardened ingest path (total;
+    /// rejected events open no epoch and mutate no state).
+    pub rejected_events: usize,
+    /// Rejected: arrival reusing a live (active or quarantined) job id.
+    pub rejected_duplicate_id: usize,
+    /// Rejected: departure of a job id the service does not know.
+    pub rejected_unknown_job: usize,
+    /// Rejected: arrival with a zero base demand.
+    pub rejected_zero_size: usize,
+    /// Rejected: arrival pinned outside the machine range.
+    pub rejected_bad_pin: usize,
+    /// Rejected: failure/recovery naming a set outside the family.
+    pub rejected_unknown_set: usize,
+    /// Rejected: failure of a not-fully-healthy subtree or recovery of a
+    /// subtree that is not down (coherence-order violations).
+    pub rejected_incoherent: usize,
+    /// Per-epoch wall-time percentiles (measurement only — compares
+    /// equal to everything and prints opaquely; see [`LatencyStats`]).
+    pub latency: LatencyStats,
 }
 
 /// Static configuration of a [`Scheduler`].
@@ -311,22 +412,46 @@ fn feasibility_lp(instance: &Instance, pairs: &[(usize, usize)], t: u64) -> Line
     lp
 }
 
+/// Snapshot of the cache counters already folded into the report, so
+/// each epoch contributes exactly its own delta (see
+/// [`Scheduler::sync_cache_counters`]).
+#[derive(Clone, Copy, Default)]
+struct CacheCounters {
+    warm_fallbacks: usize,
+    hybrid_certified: usize,
+    hybrid_fallbacks: usize,
+    factor_reuses: usize,
+}
+
 /// The event-driven online scheduler.
 pub struct Scheduler {
-    cfg: ServiceConfig,
+    pub(crate) cfg: ServiceConfig,
     /// Live scheduled jobs in stable (arrival) order.
-    active: Vec<JobSpec>,
+    pub(crate) active: Vec<JobSpec>,
     /// Assigned *original* family set index, parallel to `active`.
-    masks: Vec<usize>,
+    pub(crate) masks: Vec<usize>,
     /// Jobs with no healthy machine to run on.
-    quarantined: Vec<JobSpec>,
+    pub(crate) quarantined: Vec<JobSpec>,
     /// Original set indices of currently-failed subtrees.
-    failed: Vec<usize>,
-    healthy: MachineSet,
-    /// Tier-1 persistent hybrid warm cache (the fault-injection target).
-    cache: WarmCache,
-    report: ServiceReport,
-    events_seen: usize,
+    pub(crate) failed: Vec<usize>,
+    pub(crate) healthy: MachineSet,
+    /// Tier-1 hybrid warm cache (the fault-injection target). Its warm
+    /// state is *epoch-local*: [`Scheduler::apply`] resets it at epoch
+    /// start so that every epoch's solver behaviour — and counter
+    /// delta — is a pure function of that epoch alone, which is what
+    /// makes checkpoint/restore replay bit-equivalent without ever
+    /// serializing a basis.
+    pub(crate) cache: WarmCache,
+    /// Durable counters: cache deltas are folded in at each epoch end,
+    /// so this struct alone (plus the pending-fault count) survives a
+    /// checkpoint round-trip.
+    pub(crate) report: ServiceReport,
+    pub(crate) events_seen: usize,
+    /// Cache counter totals already folded into `report`.
+    folded: CacheCounters,
+    /// Per-epoch wall times, microseconds (measurement only — not part
+    /// of checkpoints; a restored service starts a fresh series).
+    epoch_latencies_us: Vec<u64>,
 }
 
 impl Scheduler {
@@ -345,7 +470,38 @@ impl Scheduler {
             cache,
             report: ServiceReport::default(),
             events_seen: 0,
+            folded: CacheCounters::default(),
+            epoch_latencies_us: Vec::new(),
         }
+    }
+
+    /// The static configuration this service was built over.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Events applied so far (rejected events are not counted: they
+    /// open no epoch).
+    pub fn events_applied(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Fold the cache counters' growth since the last sync into the
+    /// durable report. With the warm state reset at every epoch start,
+    /// each delta is a pure function of its epoch, so the folded report
+    /// is bit-identical across checkpoint/restore/replay.
+    fn sync_cache_counters(&mut self) {
+        let now = CacheCounters {
+            warm_fallbacks: self.cache.warm_fallbacks(),
+            hybrid_certified: self.cache.hybrid_certified(),
+            hybrid_fallbacks: self.cache.hybrid_fallbacks(),
+            factor_reuses: self.cache.factor_reuses(),
+        };
+        self.report.warm_fallbacks += now.warm_fallbacks - self.folded.warm_fallbacks;
+        self.report.hybrid_certified += now.hybrid_certified - self.folded.hybrid_certified;
+        self.report.hybrid_fallbacks += now.hybrid_fallbacks - self.folded.hybrid_fallbacks;
+        self.report.factor_reuses += now.factor_reuses - self.folded.factor_reuses;
+        self.folded = now;
     }
 
     /// Processing time of `spec` on original set `a`, under the
@@ -378,16 +534,15 @@ impl Scheduler {
         &self.quarantined
     }
 
-    /// The report so far (final solver counters folded in).
+    /// The report so far. Solver counters are folded in per epoch (see
+    /// [`Scheduler::sync_cache_counters`]); only the derived final-state
+    /// fields and the identity-free latency view are computed here.
     pub fn report(&self) -> ServiceReport {
         let mut r = self.report.clone();
-        r.warm_fallbacks = self.cache.warm_fallbacks();
-        r.hybrid_certified = self.cache.hybrid_certified();
-        r.hybrid_fallbacks = self.cache.hybrid_fallbacks();
-        r.factor_reuses = self.cache.factor_reuses();
         r.cert_faults_pending = self.cache.pending_forced_cert_failures();
         r.final_active = self.active.len();
         r.final_quarantined = self.quarantined.len();
+        r.latency = LatencyStats::from_samples_us(&self.epoch_latencies_us);
         r
     }
 
@@ -443,7 +598,31 @@ impl Scheduler {
     /// Process one event (with an optionally injected solver fault) and
     /// run the epoch: state update, bounded re-placement, degradation
     /// ladder, schedule + validation + replay, disruption ledger.
+    ///
+    /// This is the *trusted* entry: the event is assumed well-formed
+    /// (stream-unique ids, coherent failures) as produced by
+    /// [`event_stream`]. Untrusted streams go through
+    /// [`Scheduler::ingest`], which validates first.
+    ///
+    /// The solver cache's warm state is reset at entry, making every
+    /// epoch's solver behaviour self-contained — the durability layer's
+    /// replay equivalence depends on this.
     pub fn apply(
+        &mut self,
+        event: &Event,
+        fault: Option<SolverFault>,
+    ) -> Result<EpochOutcome, ServiceError> {
+        let epoch_t0 = std::time::Instant::now();
+        self.cache.reset_warm_state();
+        let out = self.apply_inner(event, fault);
+        self.sync_cache_counters();
+        if out.is_ok() {
+            self.epoch_latencies_us.push(epoch_t0.elapsed().as_micros() as u64);
+        }
+        out
+    }
+
+    fn apply_inner(
         &mut self,
         event: &Event,
         fault: Option<SolverFault>,

@@ -1,0 +1,266 @@
+//! Crash-recovery equivalence and journal corruption suites (the ISSUE
+//! durability acceptance tests).
+//!
+//! The contract under test: for any seeded (stream, fault plan, crash
+//! plan), killing the service at arbitrary journal byte offsets and
+//! recovering produces a final `ServiceReport` and per-event outcome
+//! sequence bit-identical to the uninterrupted run — and arbitrary
+//! journal damage (byte flips, truncations, duplicated records) yields
+//! either a valid-prefix recovery or a typed error, never a panic and
+//! never silently wrong state.
+
+use proptest::prelude::*;
+use service::journal::{self, Record};
+use service::{
+    event_stream, run, CrashPlan, DurableScheduler, Event, FaultPlan, RecoveryError, Scheduler,
+    ServiceConfig, StreamConfig,
+};
+use workloads::rng;
+
+/// The reserved fault-heavy acceptance configuration (same as
+/// `tests/online.rs`): 120 events over `semi_partitioned(5)`, stream
+/// seed 7, fault-plan seed 11 at 25%.
+fn acceptance_stream() -> Vec<Event> {
+    let family = laminar::topology::semi_partitioned(5);
+    let cfg = StreamConfig {
+        events: 120,
+        arrive_pct: 45,
+        depart_pct: 25,
+        fail_pct: 20,
+        ..StreamConfig::default()
+    };
+    event_stream(&family, &cfg, &mut rng(7))
+}
+
+/// Fixed-seed golden for a fault-heavy *crashing* run: five kills at
+/// arbitrary journal offsets recover to the exact report of the
+/// uninterrupted run — the pinned string is byte-identical to the
+/// `tests/online.rs` golden, which is the whole point.
+#[test]
+fn golden_fault_heavy_crash_recovery_is_pinned() {
+    let events = acceptance_stream();
+    let plan = FaultPlan::seeded(events.len(), 25, &mut rng(11));
+    let crash = CrashPlan::seeded(5, events.len(), &mut rng(1234));
+    let soak =
+        service::run_with_crashes(&ServiceConfig::semi_partitioned(5), &events, &plan, &crash, 16)
+            .expect("crash-injected run recovers");
+    assert_eq!(soak.crashes, 5, "all five kills fired");
+    assert!(soak.checkpoints_written > 0, "periodic checkpoints were taken");
+    let got = format!("{:?}", soak.report);
+    let want = "ServiceReport { events: 120, arrivals: 56, departures: 29, failures: 18, \
+                recoveries: 17, epochs_tier1: 107, epochs_tier2: 0, epochs_tier3: 13, \
+                faults_injected: 27, hint_poisons: 7, cert_faults: 7, cert_faults_pending: 0, \
+                deadline_faults: 13, warm_fallbacks: 19, hybrid_certified: 240, \
+                hybrid_fallbacks: 154, factor_reuses: 1, budget_exhaustions: 13, \
+                reassignments: 27, max_arrival_moves: 0, max_departure_moves: 0, \
+                max_split_migrations: 4, max_disruption_total: 7, quarantine_entries: 7, \
+                readmissions: 6, quarantine_peak: 2, final_active: 27, final_quarantined: 0, \
+                rejected_events: 0, rejected_duplicate_id: 0, rejected_unknown_job: 0, \
+                rejected_zero_size: 0, rejected_bad_pin: 0, rejected_unknown_set: 0, \
+                rejected_incoherent: 0, latency: LatencyStats(..) }";
+    assert_eq!(got, want, "golden crash-recovery report drifted");
+
+    // And it matches the batch entry point exactly.
+    let batch = run(ServiceConfig::semi_partitioned(5), &events, &plan).expect("batch run");
+    assert_eq!(soak.report, batch);
+}
+
+/// Certified T* per epoch survives recovery bit-identically: the
+/// crashing run's outcome sequence equals the uninterrupted one's.
+#[test]
+fn certified_horizons_survive_crashes() {
+    let events = acceptance_stream();
+    let plan = FaultPlan::seeded(events.len(), 25, &mut rng(11));
+    let cfg = ServiceConfig::semi_partitioned(5);
+    let baseline =
+        service::run_with_crashes(&cfg, &events, &plan, &CrashPlan::none(), 16).expect("baseline");
+    let crash = CrashPlan::seeded(3, events.len(), &mut rng(77));
+    let soak = service::run_with_crashes(&cfg, &events, &plan, &crash, 16).expect("soak");
+    assert_eq!(soak.outcomes, baseline.outcomes, "per-epoch outcomes (incl. T*) diverged");
+}
+
+/// A crash immediately after a checkpoint record restores from it
+/// without replay; a crash that wipes the whole journal replays from
+/// genesis. Both ends of the spectrum land on the same state.
+#[test]
+fn checkpoint_and_genesis_recovery_agree() {
+    let events = acceptance_stream();
+    let plan = FaultPlan::seeded(events.len(), 25, &mut rng(11));
+    let cfg = ServiceConfig::semi_partitioned(5);
+
+    let mut ds = DurableScheduler::new(cfg.clone(), 16);
+    for (i, ev) in events.iter().enumerate() {
+        ds.ingest(ev, plan.fault_at(i)).expect("epoch");
+    }
+    let full = ds.journal_bytes().to_vec();
+
+    let (from_journal, info) =
+        DurableScheduler::recover(cfg.clone(), &full, 16).expect("full-journal recovery");
+    assert_eq!(info.next_seq, events.len() as u64);
+    assert_eq!(info.tail, None);
+    assert_eq!(from_journal.report(), ds.report());
+
+    let (from_nothing, info0) =
+        DurableScheduler::recover(cfg, &[], 16).expect("empty-journal recovery");
+    assert_eq!(info0.next_seq, 0);
+    assert_eq!(from_nothing.report(), Scheduler::new(ServiceConfig::semi_partitioned(5)).report());
+}
+
+/// Splicing a duplicated record region into the journal keeps every CRC
+/// valid but breaks the sequence run — recovery refuses with a typed
+/// error instead of double-applying events.
+#[test]
+fn duplicated_records_are_out_of_order() {
+    let cfg = ServiceConfig::semi_partitioned(4);
+    let stream_cfg = StreamConfig { events: 20, ..StreamConfig::default() };
+    let events = event_stream(&cfg.family, &stream_cfg, &mut rng(2));
+    let mut ds = DurableScheduler::new(cfg.clone(), 0);
+    for ev in &events {
+        ds.ingest(ev, None).expect("epoch");
+    }
+    let bytes = ds.journal_bytes();
+    let scan = journal::recover(bytes).expect("own journal is valid");
+    // Duplicate the first event+outcome pair at the end of the journal.
+    let (first, _) = scan.records[0];
+    let (third, _) = scan.records[2];
+    let mut spliced = bytes.to_vec();
+    spliced.extend_from_slice(&bytes[first..third]);
+    match DurableScheduler::recover(cfg, &spliced, 0) {
+        Err(RecoveryError::OutOfOrder { seq: 0, .. }) => {}
+        Err(other) => panic!("expected OutOfOrder for a duplicated record, got {other:?}"),
+        Ok(_) => panic!("a duplicated record must not recover"),
+    }
+}
+
+/// A journal from a "different build" (unknown record kind with a valid
+/// CRC) surfaces as a typed tail error and the prefix before it is
+/// recovered in full.
+#[test]
+fn unknown_record_kind_is_a_typed_tail() {
+    let cfg = ServiceConfig::semi_partitioned(4);
+    let stream_cfg = StreamConfig { events: 10, ..StreamConfig::default() };
+    let events = event_stream(&cfg.family, &stream_cfg, &mut rng(3));
+    let mut ds = DurableScheduler::new(cfg.clone(), 0);
+    for ev in &events {
+        ds.ingest(ev, None).expect("epoch");
+    }
+    let mut bytes = ds.journal_bytes().to_vec();
+    let offset = bytes.len();
+    // A CRC-valid record of kind 200: len=0, kind, crc over len‖kind.
+    let mut frame = vec![0, 0, 0, 0, 200u8];
+    let crc = {
+        // Same polynomial as the journal's (IEEE, reflected).
+        let mut c = 0xFFFF_FFFFu32;
+        for &b in &frame {
+            c ^= b as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+        }
+        !c
+    };
+    frame.extend_from_slice(&crc.to_le_bytes());
+    bytes.extend_from_slice(&frame);
+
+    let scan = journal::recover(&bytes).expect("prefix is valid");
+    assert_eq!(scan.tail, Some(service::JournalError::UnknownRecordKind { offset, kind: 200 }));
+    assert_eq!(scan.valid_len, offset);
+    assert_eq!(scan.records.len(), 2 * events.len(), "event + outcome per epoch");
+    assert!(scan.records.iter().all(|(_, r)| !matches!(r, Record::Checkpoint(_))));
+
+    let (recovered, info) = DurableScheduler::recover(cfg, &bytes, 0).expect("prefix recovery");
+    assert_eq!(info.next_seq, events.len() as u64);
+    assert_eq!(recovered.report(), ds.report());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline equivalence: arbitrary seeded (stream, fault plan,
+    /// crash plan) — kills at arbitrary journal byte offsets, any
+    /// checkpoint cadence — recovers to a report and outcome sequence
+    /// bit-identical to the uninterrupted run.
+    #[test]
+    fn crash_recovery_is_bit_identical(
+        m in 2usize..6,
+        events in 25usize..45,
+        fault_rate in 0u32..40,
+        kills in 1usize..5,
+        checkpoint_every in 0usize..12,
+        stream_seed in 0u64..1000,
+        plan_seed in 0u64..1000,
+        crash_seed in 0u64..1000,
+    ) {
+        let cfg = ServiceConfig::semi_partitioned(m);
+        let stream_cfg = StreamConfig { events, ..StreamConfig::default() };
+        let stream = event_stream(&cfg.family, &stream_cfg, &mut rng(stream_seed));
+        let plan = FaultPlan::seeded(events, fault_rate, &mut rng(plan_seed));
+        let crash = CrashPlan::seeded(kills, events, &mut rng(crash_seed));
+
+        let baseline = service::run_with_crashes(
+            &cfg, &stream, &plan, &CrashPlan::none(), checkpoint_every,
+        ).expect("baseline run");
+        let soak = service::run_with_crashes(&cfg, &stream, &plan, &crash, checkpoint_every)
+            .expect("crash-injected run");
+
+        prop_assert_eq!(soak.crashes, kills);
+        prop_assert_eq!(&soak.report, &baseline.report);
+        prop_assert_eq!(&soak.outcomes, &baseline.outcomes);
+
+        // And the batch entry point agrees with both.
+        let batch = run(cfg, &stream, &plan).expect("batch run");
+        prop_assert_eq!(&soak.report, &batch);
+    }
+
+    /// Corruption safety: random byte flips, truncations, and region
+    /// duplications on a real journal always yield either a valid-prefix
+    /// recovery (whose state matches a clean run over the surviving
+    /// prefix) or a typed error — never a panic.
+    #[test]
+    fn corrupted_journals_never_panic_or_lie(
+        stream_seed in 0u64..500,
+        fault_rate in 0u32..30,
+        checkpoint_every in 0usize..10,
+        mutation in 0u32..3,
+        at_permille in 0u32..1000,
+        flip_bit in 0u32..8,
+        dup_len in 1usize..64,
+    ) {
+        let cfg = ServiceConfig::semi_partitioned(3);
+        let stream_cfg = StreamConfig { events: 20, ..StreamConfig::default() };
+        let stream = event_stream(&cfg.family, &stream_cfg, &mut rng(stream_seed));
+        let plan = FaultPlan::seeded(stream.len(), fault_rate, &mut rng(stream_seed + 1));
+        let mut ds = DurableScheduler::new(cfg.clone(), checkpoint_every);
+        for (i, ev) in stream.iter().enumerate() {
+            ds.ingest(ev, plan.fault_at(i)).expect("epoch");
+        }
+        let mut bytes = ds.journal_bytes().to_vec();
+        let at = (bytes.len() * at_permille as usize) / 1000;
+        match mutation {
+            0 => {
+                let i = at.min(bytes.len() - 1);
+                bytes[i] ^= 1 << flip_bit;
+            }
+            1 => bytes.truncate(at),
+            _ => {
+                let end = (at + dup_len).min(bytes.len());
+                let region = bytes[at..end].to_vec();
+                bytes.extend_from_slice(&region);
+            }
+        }
+
+        // A typed refusal (`Err`) is a legal outcome of damage; what is
+        // never legal is a panic or a recovered state that lies.
+        if let Ok((recovered, info)) = DurableScheduler::recover(cfg.clone(), &bytes, checkpoint_every) {
+            // Whatever prefix survived must equal a clean run over
+            // exactly that many events.
+            let n = usize::try_from(info.next_seq).expect("fits");
+            prop_assert!(n <= stream.len());
+            let mut clean = Scheduler::new(cfg);
+            for (i, ev) in stream[..n].iter().enumerate() {
+                clean.ingest(ev, plan.fault_at(i)).expect("epoch");
+            }
+            prop_assert_eq!(recovered.report(), clean.report());
+        }
+    }
+}

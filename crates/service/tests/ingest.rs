@@ -1,0 +1,175 @@
+//! Hardened-ingest suite: adversarially corrupted streams are rejected
+//! per category, reject-and-continue never leaks into applied state,
+//! and a fixed-seed golden pins the rejection counters.
+
+use proptest::prelude::*;
+use service::{
+    corrupt_stream, event_stream, run_hardened, Event, FaultPlan, Ingest, IngestError, JobSpec,
+    Scheduler, ServiceConfig, StreamConfig,
+};
+use workloads::rng;
+
+fn acceptance_stream() -> Vec<Event> {
+    let family = laminar::topology::semi_partitioned(5);
+    let cfg = StreamConfig {
+        events: 120,
+        arrive_pct: 45,
+        depart_pct: 25,
+        fail_pct: 20,
+        ..StreamConfig::default()
+    };
+    event_stream(&family, &cfg, &mut rng(7))
+}
+
+/// Fixed-seed golden of the rejection counters over the adversarially
+/// corrupted acceptance stream. If this drifts, the stream mutator or
+/// the validator changed behaviour — bump deliberately, never silently.
+#[test]
+fn golden_rejection_counters_are_pinned() {
+    let cfg = ServiceConfig::semi_partitioned(5);
+    let stream = acceptance_stream();
+    let corrupted = corrupt_stream(&cfg.family, &stream, 30, &mut rng(21));
+    assert!(corrupted.len() > stream.len(), "the mutator injected something");
+
+    let report = run_hardened(cfg, &corrupted, &FaultPlan::none()).expect("hardened run");
+    let injected = corrupted.len() - stream.len();
+    assert_eq!(report.rejected_events, injected, "exactly the injected events are rejected");
+    assert_eq!(report.events, stream.len(), "exactly the originals are applied");
+    assert_eq!(
+        (
+            report.rejected_duplicate_id,
+            report.rejected_unknown_job,
+            report.rejected_zero_size,
+            report.rejected_bad_pin,
+            report.rejected_unknown_set,
+            report.rejected_incoherent,
+        ),
+        (5, 4, 6, 6, 8, 9),
+        "golden rejection counters drifted"
+    );
+    assert_eq!(
+        report.rejected_duplicate_id
+            + report.rejected_unknown_job
+            + report.rejected_zero_size
+            + report.rejected_bad_pin
+            + report.rejected_unknown_set
+            + report.rejected_incoherent,
+        report.rejected_events,
+        "every rejection lands in exactly one category"
+    );
+}
+
+/// Reject-and-continue leaks nothing: the hardened run over the
+/// corrupted stream applies exactly the original events, with outcomes
+/// bit-identical to the clean trusted run.
+#[test]
+fn rejected_events_leak_nothing_into_applied_state() {
+    let cfg = ServiceConfig::semi_partitioned(5);
+    let stream = acceptance_stream();
+    let corrupted = corrupt_stream(&cfg.family, &stream, 30, &mut rng(21));
+
+    let mut clean = Scheduler::new(cfg.clone());
+    let clean_outcomes: Vec<_> =
+        stream.iter().map(|ev| clean.apply(ev, None).expect("clean epoch")).collect();
+
+    let mut hardened = Scheduler::new(cfg);
+    let mut applied = Vec::new();
+    for ev in &corrupted {
+        match hardened.ingest(ev, None).expect("hardened epoch") {
+            Ingest::Applied(outcome) => applied.push(outcome),
+            Ingest::Rejected(_) => {}
+        }
+    }
+    // Outcomes match modulo the event index (rejected events still
+    // advance the hardened run's stream position, not its epoch count —
+    // event_index counts applied epochs and so matches exactly).
+    assert_eq!(applied, clean_outcomes, "rejections must not perturb applied epochs");
+
+    let (rc, rh) = (clean.report(), hardened.report());
+    assert_eq!(rc.reassignments, rh.reassignments);
+    assert_eq!(rc.quarantine_entries, rh.quarantine_entries);
+    assert_eq!(rc.final_active, rh.final_active);
+    assert_eq!(rh.events, rc.events);
+}
+
+/// Every rejection category is reachable and typed.
+#[test]
+fn each_malformed_class_gets_its_typed_error() {
+    let cfg = ServiceConfig::semi_partitioned(4);
+    let m = cfg.family.num_machines();
+    let sets = cfg.family.len();
+    let mut s = Scheduler::new(cfg);
+
+    let ok = s.ingest(&Event::Arrive(JobSpec { id: 1, base: 2, pinned: None }), None).unwrap();
+    assert!(matches!(ok, Ingest::Applied(_)));
+
+    let cases: Vec<(Event, IngestError)> = vec![
+        (
+            Event::Arrive(JobSpec { id: 1, base: 3, pinned: None }),
+            IngestError::DuplicateJobId { id: 1 },
+        ),
+        (Event::Depart(99), IngestError::UnknownJobId { id: 99 }),
+        (
+            Event::Arrive(JobSpec { id: 2, base: 0, pinned: None }),
+            IngestError::ZeroSizeJob { id: 2 },
+        ),
+        (
+            Event::Arrive(JobSpec { id: 3, base: 1, pinned: Some(m) }),
+            IngestError::PinOutOfRange { id: 3, machine: m, machines: m },
+        ),
+        (Event::MachineFail(sets), IngestError::UnknownSet { set: sets, sets }),
+        (Event::MachineRecover(sets + 1), IngestError::UnknownSet { set: sets + 1, sets }),
+        (Event::MachineRecover(0), IngestError::NotFailed { set: 0 }),
+    ];
+    for (event, want) in cases {
+        match s.ingest(&event, None).expect("reject-and-continue") {
+            Ingest::Rejected(got) => assert_eq!(got, want, "wrong category for {event:?}"),
+            Ingest::Applied(_) => panic!("{event:?} must be rejected"),
+        }
+    }
+
+    // Failing set 0 is legal; failing it again is incoherent.
+    assert!(matches!(s.ingest(&Event::MachineFail(0), None).unwrap(), Ingest::Applied(_)));
+    match s.ingest(&Event::MachineFail(0), None).unwrap() {
+        Ingest::Rejected(IngestError::NotFullyHealthy { set: 0 }) => {}
+        other => panic!("expected NotFullyHealthy, got {other:?}"),
+    }
+
+    let report = s.report();
+    assert_eq!(report.rejected_events, 8);
+    assert_eq!(report.rejected_incoherent, 2);
+    assert_eq!(report.events, 2, "only the two legal events opened epochs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any seeded corruption of any seeded stream: the hardened service
+    /// absorbs it without an invariant violation, rejects exactly the
+    /// injected events, and applies exactly the originals.
+    #[test]
+    fn poisoned_streams_degrade_instead_of_panicking(
+        m in 2usize..6,
+        events in 20usize..45,
+        rate in 5u32..60,
+        fault_rate in 0u32..30,
+        stream_seed in 0u64..1000,
+        corrupt_seed in 0u64..1000,
+    ) {
+        let cfg = ServiceConfig::semi_partitioned(m);
+        let stream_cfg = StreamConfig { events, ..StreamConfig::default() };
+        let stream = event_stream(&cfg.family, &stream_cfg, &mut rng(stream_seed));
+        let corrupted = corrupt_stream(&cfg.family, &stream, rate, &mut rng(corrupt_seed));
+        let plan = FaultPlan::seeded(corrupted.len(), fault_rate, &mut rng(corrupt_seed + 1));
+
+        let report = run_hardened(cfg, &corrupted, &plan).expect("no invariant violation");
+        prop_assert_eq!(report.rejected_events, corrupted.len() - stream.len());
+        prop_assert_eq!(report.events, stream.len());
+        prop_assert_eq!(
+            report.rejected_duplicate_id + report.rejected_unknown_job
+                + report.rejected_zero_size + report.rejected_bad_pin
+                + report.rejected_unknown_set + report.rejected_incoherent,
+            report.rejected_events
+        );
+    }
+}

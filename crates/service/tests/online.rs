@@ -142,11 +142,14 @@ fn golden_fault_heavy_report_is_pinned() {
     let want = "ServiceReport { events: 120, arrivals: 56, departures: 29, failures: 18, \
                 recoveries: 17, epochs_tier1: 107, epochs_tier2: 0, epochs_tier3: 13, \
                 faults_injected: 27, hint_poisons: 7, cert_faults: 7, cert_faults_pending: 0, \
-                deadline_faults: 13, warm_fallbacks: 129, hybrid_certified: 289, \
-                hybrid_fallbacks: 105, factor_reuses: 17, budget_exhaustions: 13, \
+                deadline_faults: 13, warm_fallbacks: 19, hybrid_certified: 240, \
+                hybrid_fallbacks: 154, factor_reuses: 1, budget_exhaustions: 13, \
                 reassignments: 27, max_arrival_moves: 0, max_departure_moves: 0, \
                 max_split_migrations: 4, max_disruption_total: 7, quarantine_entries: 7, \
-                readmissions: 6, quarantine_peak: 2, final_active: 27, final_quarantined: 0 }";
+                readmissions: 6, quarantine_peak: 2, final_active: 27, final_quarantined: 0, \
+                rejected_events: 0, rejected_duplicate_id: 0, rejected_unknown_job: 0, \
+                rejected_zero_size: 0, rejected_bad_pin: 0, rejected_unknown_set: 0, \
+                rejected_incoherent: 0, latency: LatencyStats(..) }";
     assert_eq!(got, want, "golden service report drifted");
 }
 

@@ -202,6 +202,102 @@ pub fn event_stream(family: &LaminarFamily, cfg: &StreamConfig, rng: &mut StdRng
     out
 }
 
+/// Adversarially corrupt a well-formed stream: before each original
+/// event, with probability `rate_pct`%, inject one malformed event
+/// drawn from the classes a hardened ingest must reject —
+///
+/// * an arrival reusing a currently-live job id,
+/// * a departure of an id that never arrived,
+/// * a zero-base-demand arrival,
+/// * an arrival pinned outside the machine range,
+/// * a failure/recovery naming a set outside the family,
+/// * a failure of a subtree that is not fully healthy,
+/// * a recovery of a subtree that is not down.
+///
+/// Every injected event is guaranteed malformed *at its position*
+/// (the generator replays the stream's live/failed state to know what
+/// is currently legal), so a validating consumer rejects exactly the
+/// injected events and applies exactly the original ones — the
+/// original events are passed through untouched, in order.
+pub fn corrupt_stream(
+    family: &LaminarFamily,
+    stream: &[Event],
+    rate_pct: u32,
+    rng: &mut StdRng,
+) -> Vec<Event> {
+    assert!(rate_pct <= 100, "rate_pct is a percentage");
+    let m = family.num_machines();
+    let mut healthy = MachineSet::full(m);
+    let mut failed: Vec<usize> = Vec::new();
+    let mut live: Vec<u64> = Vec::new();
+    // Ids no well-formed generator produces; fresh per injection so
+    // rejected arrivals can never collide with anything live.
+    let mut bogus_id = 1u64 << 40;
+    let mut out = Vec::with_capacity(stream.len());
+    for ev in stream {
+        if rng.gen_range(0u32..100) < rate_pct {
+            let mut fresh_id = || {
+                bogus_id += 1;
+                bogus_id
+            };
+            let injected = match rng.gen_range(0u32..7) {
+                0 if !live.is_empty() => {
+                    // Duplicate a live id (with a legal base and no
+                    // pin, so identity is the only flaw).
+                    let id = live[rng.gen_range(0..live.len())];
+                    Event::Arrive(JobSpec { id, base: 1 + rng.gen_range(0u64..5), pinned: None })
+                }
+                1 => Event::Depart(fresh_id()),
+                2 => Event::Arrive(JobSpec { id: fresh_id(), base: 0, pinned: None }),
+                3 => Event::Arrive(JobSpec {
+                    id: fresh_id(),
+                    base: 1 + rng.gen_range(0u64..5),
+                    pinned: Some(m + rng.gen_range(0usize..3)),
+                }),
+                4 => {
+                    let a = family.len() + rng.gen_range(0usize..3);
+                    if rng.gen_range(0u32..2) == 0 {
+                        Event::MachineFail(a)
+                    } else {
+                        Event::MachineRecover(a)
+                    }
+                }
+                5 if !failed.is_empty() => {
+                    // Fail a subtree that is already (partly) down.
+                    Event::MachineFail(failed[rng.gen_range(0..failed.len())])
+                }
+                _ => {
+                    // Recover a subtree that is not down. Falls back to
+                    // an out-of-range recovery in the (degenerate) case
+                    // where every set is failed.
+                    let up: Vec<usize> =
+                        (0..family.len()).filter(|a| !failed.contains(a)).collect();
+                    if up.is_empty() {
+                        Event::MachineRecover(family.len())
+                    } else {
+                        Event::MachineRecover(up[rng.gen_range(0..up.len())])
+                    }
+                }
+            };
+            out.push(injected);
+        }
+        match *ev {
+            Event::Arrive(spec) => live.push(spec.id),
+            Event::Depart(id) => live.retain(|&j| j != id),
+            Event::MachineFail(a) => {
+                healthy = healthy.difference(family.set(a));
+                failed.push(a);
+            }
+            Event::MachineRecover(a) => {
+                healthy = healthy.union(family.set(a));
+                failed.retain(|&b| b != a);
+            }
+        }
+        out.push(*ev);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +351,26 @@ mod tests {
         let events = event_stream(&family, &cfg, &mut rng(7));
         let failures = events.iter().filter(|e| matches!(e, Event::MachineFail(_))).count();
         assert!(failures >= 3, "fault-heavy config produced only {failures} failures");
+    }
+
+    #[test]
+    fn corrupt_stream_is_seeded_and_preserves_originals() {
+        let family = topology::semi_partitioned(4);
+        let cfg = StreamConfig { events: 150, ..StreamConfig::default() };
+        let stream = event_stream(&family, &cfg, &mut rng(3));
+        let a = corrupt_stream(&family, &stream, 30, &mut rng(21));
+        let b = corrupt_stream(&family, &stream, 30, &mut rng(21));
+        assert_eq!(a, b, "same seed must give the same corruption");
+        assert!(a.len() > stream.len(), "30% over 150 events injects something");
+
+        // The original stream survives as an in-order subsequence.
+        let mut next = 0;
+        for ev in &a {
+            if next < stream.len() && *ev == stream[next] {
+                next += 1;
+            }
+        }
+        assert_eq!(next, stream.len(), "originals pass through untouched, in order");
     }
 
     #[test]

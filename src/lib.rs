@@ -55,8 +55,10 @@ pub mod prelude {
     };
     pub use numeric::Q;
     pub use service::{
-        event_stream, run as run_service, Event, FaultPlan, JobSpec, Scheduler, ServiceConfig,
-        ServiceError, ServiceReport, SolverFault, StreamConfig, Tier,
+        corrupt_stream, event_stream, run as run_service, run_hardened, run_with_crashes,
+        CrashPlan, DurableScheduler, Event, FaultPlan, Ingest, IngestError, JobSpec, JournalError,
+        RecoveryError, Scheduler, ServiceConfig, ServiceError, ServiceReport, SolverFault,
+        StreamConfig, Tier,
     };
     pub use simulator::{simulate, SimError, SimReport};
     pub use workloads::rng;
